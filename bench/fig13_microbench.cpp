@@ -1,0 +1,65 @@
+// Figure 13: latency and bandwidth of the substrate against kernel TCP.
+//
+// Latency series: Datagram sockets, Data Streaming sockets (all
+// enhancements), TCP.  Bandwidth series additionally split TCP by socket
+// buffer size (default 16 KB vs tuned) and include raw EMP.
+//
+// Paper reference: latency 28.5 us (DG) / 37 us (DS) / ~120 us (TCP), a
+// 4.2x / 3.4x improvement; peak bandwidth ~840 Mb/s vs 340 Mb/s (16 KB
+// buffers) and ~550 Mb/s (tuned).
+#include <cstdio>
+
+#include "harness.hpp"
+#include "sim/stats.hpp"
+
+int main() {
+  using namespace ulsocks;
+  using namespace ulsocks::bench;
+
+  std::printf("Figure 13a: latency vs message size (one-way, us)\n\n");
+  {
+    sim::ResultTable table({"size", "Datagram", "DataStreaming", "TCP",
+                            "TCP/DG"});
+    for (std::size_t size : {4ul, 64ul, 256ul, 1024ul, 4096ul}) {
+      double dg = measure_latency_us(substrate_choice(sockets::preset_dg()),
+                                     size);
+      double ds = measure_latency_us(
+          substrate_choice(sockets::preset_ds_da_uq()), size);
+      double tcp = measure_latency_us(tcp_choice(), size);
+      table.add_row({size_label(size), sim::ResultTable::num(dg, 1),
+                     sim::ResultTable::num(ds, 1),
+                     sim::ResultTable::num(tcp, 1),
+                     sim::ResultTable::num(tcp / dg, 1)});
+    }
+    table.print();
+    std::printf(
+        "\npaper (4B): DG 28.5, DS 37, TCP ~120  (4.2x / 3.4x better)\n\n");
+  }
+
+  std::printf("Figure 13b: bandwidth vs message size (Mb/s)\n\n");
+  {
+    sim::ResultTable table({"size", "Substrate_DS", "Datagram", "TCP_16K",
+                            "TCP_tuned", "raw_EMP"});
+    constexpr std::size_t kTotal = 24ul << 20;  // 24 MB per point
+    for (std::size_t size : {1024ul, 4096ul, 16384ul, 65536ul}) {
+      double ds = measure_bandwidth_mbps(
+          substrate_choice(sockets::preset_ds_da_uq()), size, kTotal);
+      double dg = measure_bandwidth_mbps(
+          substrate_choice(sockets::preset_dg()), size, kTotal);
+      double tcp_def = measure_bandwidth_mbps(tcp_choice(), size, kTotal);
+      double tcp_tuned =
+          measure_bandwidth_mbps(tcp_choice(262'144), size, kTotal);
+      double emp = measure_bandwidth_mbps(raw_emp_choice(), size, kTotal);
+      table.add_row({size_label(size), sim::ResultTable::num(ds, 0),
+                     sim::ResultTable::num(dg, 0),
+                     sim::ResultTable::num(tcp_def, 0),
+                     sim::ResultTable::num(tcp_tuned, 0),
+                     sim::ResultTable::num(emp, 0)});
+    }
+    table.print();
+    std::printf(
+        "\npaper (peak): substrate ~840, TCP 340 (16K) / 550 (tuned), "
+        "EMP ~880\n");
+  }
+  return 0;
+}

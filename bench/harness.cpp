@@ -1,0 +1,431 @@
+#include "harness.hpp"
+
+#include <deque>
+#include <memory>
+
+#include "apps/ftp.hpp"
+#include "apps/httpd.hpp"
+#include "apps/matmul.hpp"
+
+namespace ulsocks::bench {
+
+namespace {
+
+using os::SockAddr;
+using sim::Engine;
+
+constexpr std::uint16_t kPort = 5001;
+
+std::vector<std::uint8_t> payload(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return v;
+}
+
+/// Configure a TCP socket per the StackChoice.
+Task<void> apply_tcp_options(os::SocketApi& api, int sd,
+                             const StackChoice& stack) {
+  if (stack.tcp_sockbuf > 0) {
+    co_await api.set_option(sd, os::SockOpt::kSndBuf, stack.tcp_sockbuf);
+    co_await api.set_option(sd, os::SockOpt::kRcvBuf, stack.tcp_sockbuf);
+  }
+  if (stack.tcp_nodelay) {
+    co_await api.set_option(sd, os::SockOpt::kNoDelay, 1);
+  }
+}
+
+os::SocketApi& pick(Cluster& cl, std::size_t node, const StackChoice& stack) {
+  return stack.kind == StackChoice::Kind::kTcp
+             ? static_cast<os::SocketApi&>(cl.node(node).tcp)
+             : static_cast<os::SocketApi&>(cl.node(node).socks);
+}
+
+/// Raw-EMP ping-pong (no sockets layer at all).
+double raw_emp_latency_us(std::size_t msg_bytes, int iters, int warmup,
+                          bool dual_cpu) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, {}, {}, dual_cpu);
+  auto msg = payload(msg_bytes);
+  std::vector<std::uint8_t> b0(msg_bytes ? msg_bytes : 1);
+  std::vector<std::uint8_t> b1(msg_bytes ? msg_bytes : 1);
+  double one_way_us = 0;
+
+  auto server = [&]() -> Task<void> {
+    auto& ep = cl.node(1).emp;
+    for (int i = 0; i < warmup + iters; ++i) {
+      auto h = co_await ep.post_recv(emp::NodeId{0}, 1, b1);
+      co_await ep.wait_recv(h);
+      auto s = co_await ep.post_send(0, 2, msg);
+      co_await ep.wait_send_local(s);
+    }
+  };
+  auto client = [&]() -> Task<void> {
+    auto& ep = cl.node(0).emp;
+    co_await eng.delay(10'000);
+    sim::Time t0 = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) t0 = eng.now();
+      auto h = co_await ep.post_recv(emp::NodeId{1}, 2, b0);
+      auto s = co_await ep.post_send(1, 1, msg);
+      co_await ep.wait_recv(h);
+      (void)s;
+    }
+    one_way_us = sim::to_us(eng.now() - t0) / (2.0 * iters);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  return one_way_us;
+}
+
+double socket_latency_us(const StackChoice& stack, std::size_t msg_bytes,
+                         int iters, int warmup, bool dual_cpu) {
+  Engine eng;
+  sockets::SubstrateConfig cfg = stack.cfg;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg, {}, dual_cpu);
+  auto msg = payload(msg_bytes);
+  double one_way_us = 0;
+
+  auto server = [&]() -> Task<void> {
+    auto& api = pick(cl, 1, stack);
+    int ls = co_await api.socket();
+    co_await api.bind(ls, SockAddr{1, kPort});
+    co_await api.listen(ls, 2);
+    int cs = co_await api.accept(ls, nullptr);
+    co_await apply_tcp_options(api, cs, stack);
+    std::vector<std::uint8_t> buf(msg_bytes);
+    for (int i = 0; i < warmup + iters; ++i) {
+      co_await api.read_exact(cs, buf);
+      co_await api.write_all(cs, buf);
+    }
+    co_await api.close(cs);
+    co_await api.close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    auto& api = pick(cl, 0, stack);
+    co_await eng.delay(10'000);
+    int s = co_await api.socket();
+    co_await api.connect(s, SockAddr{1, kPort});
+    co_await apply_tcp_options(api, s, stack);
+    std::vector<std::uint8_t> buf = msg;
+    sim::Time t0 = 0;
+    for (int i = 0; i < warmup + iters; ++i) {
+      if (i == warmup) t0 = eng.now();
+      co_await api.write_all(s, buf);
+      co_await api.read_exact(s, buf);
+    }
+    one_way_us = sim::to_us(eng.now() - t0) / (2.0 * iters);
+    co_await api.close(s);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  return one_way_us;
+}
+
+double raw_emp_bandwidth_mbps(std::size_t msg_bytes,
+                              std::size_t total_bytes) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2);
+  auto chunk = payload(msg_bytes);
+  std::size_t messages = (total_bytes + msg_bytes - 1) / msg_bytes;
+  double mbps = 0;
+
+  auto receiver = [&]() -> Task<void> {
+    auto& ep = cl.node(1).emp;
+    std::vector<std::uint8_t> buf(msg_bytes);
+    // Keep a pipeline of pre-posted descriptors, as an EMP benchmark would.
+    std::deque<emp::RecvHandle> pipeline;
+    sim::Time t0 = eng.now();
+    std::size_t posted = 0;
+    std::size_t received = 0;
+    while (received < messages) {
+      // Keep more receives posted than the sender keeps in flight, so no
+      // arrival ever misses a descriptor (a miss costs a full EMP
+      // retransmission timeout).
+      while (posted < messages && pipeline.size() < 48) {
+        pipeline.push_back(co_await ep.post_recv(emp::NodeId{0}, 1, buf));
+        ++posted;
+      }
+      co_await ep.wait_recv(pipeline.front());
+      pipeline.pop_front();
+      ++received;
+    }
+    mbps = static_cast<double>(received) * static_cast<double>(msg_bytes) *
+           8.0 / sim::to_sec(eng.now() - t0) / 1e6;
+  };
+  auto sender = [&]() -> Task<void> {
+    auto& ep = cl.node(0).emp;
+    co_await eng.delay(50'000);
+    std::deque<emp::SendHandle> inflight;
+    for (std::size_t i = 0; i < messages; ++i) {
+      inflight.push_back(co_await ep.post_send(1, 1, chunk));
+      if (inflight.size() >= 16) {
+        co_await ep.wait_send_acked(inflight.front());
+        inflight.pop_front();
+      }
+    }
+    while (!inflight.empty()) {
+      co_await ep.wait_send_acked(inflight.front());
+      inflight.pop_front();
+    }
+  };
+  eng.spawn(receiver());
+  eng.spawn(sender());
+  eng.run();
+  return mbps;
+}
+
+double socket_bandwidth_mbps(const StackChoice& stack, std::size_t msg_bytes,
+                             std::size_t total_bytes, bool dual_cpu) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg, {}, dual_cpu);
+  auto chunk = payload(msg_bytes);
+  double mbps = 0;
+
+  auto receiver = [&]() -> Task<void> {
+    auto& api = pick(cl, 1, stack);
+    int ls = co_await api.socket();
+    co_await api.bind(ls, SockAddr{1, kPort});
+    co_await api.listen(ls, 2);
+    int cs = co_await api.accept(ls, nullptr);
+    co_await apply_tcp_options(api, cs, stack);
+    std::vector<std::uint8_t> buf(std::max<std::size_t>(msg_bytes, 65'536));
+    std::size_t got = 0;
+    sim::Time t0 = eng.now();
+    while (got < total_bytes) {
+      std::size_t n = co_await api.read(cs, buf);
+      if (n == 0) break;
+      got += n;
+    }
+    mbps = static_cast<double>(got) * 8.0 / sim::to_sec(eng.now() - t0) /
+           1e6;
+    co_await api.close(cs);
+    co_await api.close(ls);
+  };
+  auto sender = [&]() -> Task<void> {
+    auto& api = pick(cl, 0, stack);
+    co_await eng.delay(10'000);
+    int s = co_await api.socket();
+    co_await api.connect(s, SockAddr{1, kPort});
+    co_await apply_tcp_options(api, s, stack);
+    std::size_t sent = 0;
+    while (sent < total_bytes) {
+      co_await api.write_all(s, chunk);
+      sent += chunk.size();
+    }
+    co_await api.close(s);
+  };
+  eng.spawn(receiver());
+  eng.spawn(sender());
+  eng.run();
+  return mbps;
+}
+
+}  // namespace
+
+StackChoice substrate_choice(sockets::SubstrateConfig cfg) {
+  StackChoice s;
+  s.kind = StackChoice::Kind::kSubstrate;
+  s.cfg = cfg;
+  return s;
+}
+
+StackChoice tcp_choice(int sockbuf) {
+  StackChoice s;
+  s.kind = StackChoice::Kind::kTcp;
+  s.tcp_sockbuf = sockbuf;
+  return s;
+}
+
+StackChoice raw_emp_choice() {
+  StackChoice s;
+  s.kind = StackChoice::Kind::kRawEmp;
+  return s;
+}
+
+double measure_latency_us(const StackChoice& stack, std::size_t msg_bytes,
+                          int iters, int warmup) {
+  if (stack.kind == StackChoice::Kind::kRawEmp) {
+    return raw_emp_latency_us(msg_bytes, iters, warmup, /*dual_cpu=*/true);
+  }
+  return socket_latency_us(stack, msg_bytes, iters, warmup,
+                           /*dual_cpu=*/true);
+}
+
+double measure_latency_us_nic(const StackChoice& stack,
+                              std::size_t msg_bytes, bool dual_cpu) {
+  if (stack.kind == StackChoice::Kind::kRawEmp) {
+    return raw_emp_latency_us(msg_bytes, 50, 5, dual_cpu);
+  }
+  return socket_latency_us(stack, msg_bytes, 50, 5, dual_cpu);
+}
+
+double measure_bandwidth_mbps(const StackChoice& stack,
+                              std::size_t msg_bytes,
+                              std::size_t total_bytes) {
+  return measure_bandwidth_mbps_nic(stack, msg_bytes, total_bytes, true);
+}
+
+double measure_bandwidth_mbps_nic(const StackChoice& stack,
+                                  std::size_t msg_bytes,
+                                  std::size_t total_bytes, bool dual_cpu) {
+  if (stack.kind == StackChoice::Kind::kRawEmp) {
+    return raw_emp_bandwidth_mbps(msg_bytes, total_bytes);
+  }
+  return socket_bandwidth_mbps(stack, msg_bytes, total_bytes, dual_cpu);
+}
+
+double measure_ftp_mbps(const StackChoice& stack, std::size_t file_bytes) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg);
+  cl.node(0).host.fs().install("/srv/file.bin", payload(file_bytes));
+  double mbps = 0;
+
+  auto server = [&]() -> Task<void> {
+    os::Process proc(cl.node(0).host);
+    apps::FtpServerOptions opt;
+    opt.max_sessions = 1;
+    co_await apps::ftp_server(proc, pick(cl, 0, stack), opt);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng.delay(10'000);
+    os::Process proc(cl.node(1).host);
+    apps::FtpClient ftp(proc, pick(cl, 1, stack), 0);
+    co_await ftp.connect();
+    auto xfer = co_await ftp.get("/srv/file.bin", "/tmp/file.bin");
+    mbps = xfer.mbps();
+    co_await ftp.quit();
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  return mbps;
+}
+
+double measure_web_response_us(const StackChoice& stack,
+                               std::uint32_t response_bytes,
+                               std::uint32_t requests_per_connection,
+                               std::size_t requests_per_client) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg);
+  sim::OnlineStats all;
+  sim::OnlineStats per_client[3];
+
+  auto server = [&]() -> Task<void> {
+    os::Process proc(cl.node(0).host);
+    apps::WebServerOptions opt;
+    opt.requests_per_connection = requests_per_connection;
+    opt.max_connections =
+        3 * ((requests_per_client + requests_per_connection - 1) /
+             requests_per_connection);
+    co_await apps::web_server(proc, pick(cl, 0, stack), opt);
+  };
+  auto client = [&](std::size_t idx) -> Task<void> {
+    co_await eng.delay(10'000 + idx * 700);
+    os::Process proc(cl.node(idx + 1).host);
+    apps::WebClientOptions opt;
+    opt.server_node = 0;
+    opt.response_bytes = response_bytes;
+    opt.requests_per_connection = requests_per_connection;
+    opt.total_requests = requests_per_client;
+    co_await apps::web_client(proc, pick(cl, idx + 1, stack), opt,
+                              per_client[idx]);
+  };
+  eng.spawn(server());
+  for (std::size_t i = 0; i < 3; ++i) eng.spawn(client(i));
+  eng.run();
+  for (const auto& st : per_client) {
+    // Merge means weighted by count.
+    for (std::size_t i = 0; i < st.count(); ++i) all.add(st.mean());
+  }
+  return all.mean();
+}
+
+double measure_matmul_ms(const StackChoice& stack, std::size_t n) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg);
+  auto a = apps::make_matrix(n, 1);
+  auto b = apps::make_matrix(n, 2);
+  double ms = 0;
+
+  auto master = [&]() -> Task<void> {
+    co_await eng.delay(50'000);
+    os::Process proc(cl.node(0).host);
+    std::vector<std::uint16_t> workers{1, 2, 3};
+    auto result = co_await apps::matmul_master(proc, pick(cl, 0, stack), a,
+                                               b, n, workers);
+    ms = sim::to_ms(result.elapsed);
+  };
+  auto worker = [&](std::size_t idx) -> Task<void> {
+    os::Process proc(cl.node(idx).host);
+    co_await apps::matmul_worker(proc, pick(cl, idx, stack));
+  };
+  for (std::size_t i = 1; i <= 3; ++i) eng.spawn(worker(i));
+  eng.spawn(master());
+  eng.run();
+  return ms;
+}
+
+double measure_latency_with_extra_descriptors_us(
+    std::size_t extra_descriptors, std::size_t msg_bytes) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2);
+  auto msg = payload(msg_bytes);
+  std::vector<std::uint8_t> b0(msg_bytes), b1(msg_bytes);
+  std::vector<std::uint8_t> dummy(16);
+  double one_way_us = 0;
+  constexpr int kIters = 50;
+
+  auto server = [&]() -> Task<void> {
+    auto& ep = cl.node(1).emp;
+    // Pre-post unrelated descriptors ahead of the measurement channel: the
+    // NIC walks them (550 ns each) on every incoming data frame.
+    std::vector<emp::RecvHandle> fillers;
+    for (std::size_t i = 0; i < extra_descriptors; ++i) {
+      fillers.push_back(
+          co_await ep.post_recv(emp::NodeId{0}, 999, dummy));
+    }
+    for (int i = 0; i < kIters + 5; ++i) {
+      auto h = co_await ep.post_recv(emp::NodeId{0}, 1, b1);
+      co_await ep.wait_recv(h);
+      auto s = co_await ep.post_send(0, 2, msg);
+      co_await ep.wait_send_local(s);
+    }
+    for (auto& f : fillers) {
+      bool ok = co_await ep.unpost_recv(f);
+      (void)ok;
+    }
+  };
+  auto client = [&]() -> Task<void> {
+    auto& ep = cl.node(0).emp;
+    co_await eng.delay(500'000);  // let the fillers post first
+    sim::Time t0 = 0;
+    for (int i = 0; i < kIters + 5; ++i) {
+      if (i == 5) t0 = eng.now();
+      auto h = co_await ep.post_recv(emp::NodeId{1}, 2, b0);
+      auto s = co_await ep.post_send(1, 1, msg);
+      co_await ep.wait_recv(h);
+      (void)s;
+    }
+    one_way_us = sim::to_us(eng.now() - t0) / (2.0 * kIters);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  return one_way_us;
+}
+
+std::string size_label(std::size_t bytes) {
+  if (bytes >= 1'048'576 && bytes % 1'048'576 == 0) {
+    return std::to_string(bytes / 1'048'576) + "M";
+  }
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    return std::to_string(bytes / 1024) + "K";
+  }
+  return std::to_string(bytes);
+}
+
+}  // namespace ulsocks::bench

@@ -1,0 +1,80 @@
+// Shared measurement harness for the figure-reproduction benches.
+//
+// Every routine builds a fresh 2- or 4-node cluster, runs the workload to
+// completion in simulated time and reports microseconds / Mb/s exactly the
+// way the paper does: "latency" is half the ping-pong round trip, bandwidth
+// is receiver-side goodput over the transfer window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "sim/stats.hpp"
+#include "sockets/config.hpp"
+
+namespace ulsocks::bench {
+
+using apps::Cluster;
+using sim::Task;
+
+/// Which transport a measurement runs over.
+struct StackChoice {
+  enum class Kind { kSubstrate, kTcp, kRawEmp } kind = Kind::kSubstrate;
+  sockets::SubstrateConfig cfg{};       // substrate runs
+  int tcp_sockbuf = 0;                  // 0: kernel default (16 KB)
+  bool tcp_nodelay = true;
+};
+
+[[nodiscard]] StackChoice substrate_choice(sockets::SubstrateConfig cfg);
+[[nodiscard]] StackChoice tcp_choice(int sockbuf = 0);
+[[nodiscard]] StackChoice raw_emp_choice();
+
+/// One-way latency (us) for `msg_bytes` messages, averaged over `iters`
+/// ping-pong rounds after `warmup` rounds.
+[[nodiscard]] double measure_latency_us(const StackChoice& stack,
+                                        std::size_t msg_bytes,
+                                        int iters = 50, int warmup = 5);
+
+/// Unidirectional goodput (Mb/s) sending `total_bytes` in `msg_bytes`
+/// application writes.
+[[nodiscard]] double measure_bandwidth_mbps(const StackChoice& stack,
+                                            std::size_t msg_bytes,
+                                            std::size_t total_bytes);
+
+/// ftp RETR throughput (Mb/s) for a file of `file_bytes` on a RAM disk.
+[[nodiscard]] double measure_ftp_mbps(const StackChoice& stack,
+                                      std::size_t file_bytes);
+
+/// Web-server mean response time (us): 1 server + 3 clients, 16-byte
+/// requests, `response_bytes` replies, `requests_per_connection` per
+/// connection (1 = HTTP/1.0, 8 = HTTP/1.1).
+[[nodiscard]] double measure_web_response_us(
+    const StackChoice& stack, std::uint32_t response_bytes,
+    std::uint32_t requests_per_connection, std::size_t requests_per_client);
+
+/// Distributed matmul wall time (ms) for an n x n problem on 4 nodes.
+[[nodiscard]] double measure_matmul_ms(const StackChoice& stack,
+                                       std::size_t n);
+
+/// Latency with `extra_descriptors` unrelated descriptors pre-posted ahead
+/// of the measurement channel (tag-matching walk-cost ablation).
+[[nodiscard]] double measure_latency_with_extra_descriptors_us(
+    std::size_t extra_descriptors, std::size_t msg_bytes = 4);
+
+/// Latency / bandwidth with a single-CPU NIC (ablation of the Tigon2's
+/// dual-core design).
+[[nodiscard]] double measure_latency_us_nic(const StackChoice& stack,
+                                            std::size_t msg_bytes,
+                                            bool dual_cpu);
+[[nodiscard]] double measure_bandwidth_mbps_nic(const StackChoice& stack,
+                                                std::size_t msg_bytes,
+                                                std::size_t total_bytes,
+                                                bool dual_cpu);
+
+/// Pretty size label ("4", "1K", "64K").
+[[nodiscard]] std::string size_label(std::size_t bytes);
+
+}  // namespace ulsocks::bench

@@ -1,0 +1,138 @@
+// google-benchmark microbenchmarks of the simulation infrastructure: how
+// fast the event engine, coroutine machinery and protocol stack execute in
+// *real* time.  These bound how much simulated traffic the figure benches
+// can afford.
+#include <benchmark/benchmark.h>
+
+#include "apps/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace {
+
+using namespace ulsocks;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(static_cast<sim::Time>(i), [&sink] { ++sink; });
+    }
+    eng.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::Channel<int> a(eng, 1), b(eng, 1);
+    auto left = [](sim::Channel<int>& tx, sim::Channel<int>& rx,
+                   int rounds) -> sim::Task<void> {
+      for (int i = 0; i < rounds; ++i) {
+        co_await tx.send(i);
+        auto v = co_await rx.recv();
+        benchmark::DoNotOptimize(v);
+      }
+      tx.close();
+    };
+    auto right = [](sim::Channel<int>& rx,
+                    sim::Channel<int>& tx) -> sim::Task<void> {
+      while (auto v = co_await rx.recv()) {
+        co_await tx.send(*v);
+      }
+    };
+    eng.spawn(left(a, b, 200));
+    eng.spawn(right(a, b));
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_SubstrateRoundTrip(benchmark::State& state) {
+  // Full-stack cost: one connect + N echo round trips through EMP, NIC
+  // models, switch and back.
+  for (auto _ : state) {
+    sim::Engine eng;
+    apps::Cluster cl(eng, sim::calibrated_cost_model(), 2);
+    auto server = [&]() -> sim::Task<void> {
+      auto& api = cl.node(1).socks;
+      int ls = co_await api.socket();
+      co_await api.bind(ls, os::SockAddr{1, 80});
+      co_await api.listen(ls, 1);
+      int cs = co_await api.accept(ls, nullptr);
+      std::vector<std::uint8_t> buf(64);
+      for (int i = 0; i < 20; ++i) {
+        co_await api.read_exact(cs, buf);
+        co_await api.write_all(cs, buf);
+      }
+      co_await api.close(cs);
+      co_await api.close(ls);
+    };
+    auto client = [&]() -> sim::Task<void> {
+      auto& api = cl.node(0).socks;
+      co_await eng.delay(1000);
+      int s = co_await api.socket();
+      co_await api.connect(s, os::SockAddr{1, 80});
+      std::vector<std::uint8_t> buf(64, 7);
+      for (int i = 0; i < 20; ++i) {
+        co_await api.write_all(s, buf);
+        co_await api.read_exact(s, buf);
+      }
+      co_await api.close(s);
+    };
+    eng.spawn(server());
+    eng.spawn(client());
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_SubstrateRoundTrip);
+
+void BM_TcpRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    apps::Cluster cl(eng, sim::calibrated_cost_model(), 2);
+    auto server = [&]() -> sim::Task<void> {
+      auto& api = cl.node(1).tcp;
+      int ls = co_await api.socket();
+      co_await api.bind(ls, os::SockAddr{1, 80});
+      co_await api.listen(ls, 1);
+      int cs = co_await api.accept(ls, nullptr);
+      co_await api.set_option(cs, os::SockOpt::kNoDelay, 1);
+      std::vector<std::uint8_t> buf(64);
+      for (int i = 0; i < 20; ++i) {
+        co_await api.read_exact(cs, buf);
+        co_await api.write_all(cs, buf);
+      }
+      co_await api.close(cs);
+      co_await api.close(ls);
+    };
+    auto client = [&]() -> sim::Task<void> {
+      auto& api = cl.node(0).tcp;
+      co_await eng.delay(1000);
+      int s = co_await api.socket();
+      co_await api.connect(s, os::SockAddr{1, 80});
+      co_await api.set_option(s, os::SockOpt::kNoDelay, 1);
+      std::vector<std::uint8_t> buf(64, 7);
+      for (int i = 0; i < 20; ++i) {
+        co_await api.write_all(s, buf);
+        co_await api.read_exact(s, buf);
+      }
+      co_await api.close(s);
+    };
+    eng.spawn(server());
+    eng.spawn(client());
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 20);
+}
+BENCHMARK(BM_TcpRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Distributed matrix multiplication on the 4-node cluster (§7.5): a master
+// ships row blocks of A and all of B to three workers over sockets and
+// gathers result blocks with select(), verifying the product against a
+// single-node reference.
+//
+//   ./examples/matmul_cluster
+#include <cmath>
+#include <cstdio>
+
+#include "apps/cluster.hpp"
+#include "apps/matmul.hpp"
+
+using namespace ulsocks;
+using sim::Task;
+
+namespace {
+
+double run(apps::Cluster::StackKind kind, std::size_t n, bool verify) {
+  sim::Engine engine;
+  apps::Cluster cluster(engine, sim::calibrated_cost_model(), 4);
+  auto a = apps::make_matrix(n, 1);
+  auto b = apps::make_matrix(n, 2);
+
+  apps::MatmulResult result;
+  auto master = [&]() -> Task<void> {
+    co_await engine.delay(20'000);
+    os::Process proc(cluster.node(0).host);
+    std::vector<std::uint16_t> workers{1, 2, 3};
+    result = co_await apps::matmul_master(proc, cluster.stack(0, kind), a,
+                                          b, n, workers);
+  };
+  auto worker = [&](std::size_t idx) -> Task<void> {
+    os::Process proc(cluster.node(idx).host);
+    co_await apps::matmul_worker(proc, cluster.stack(idx, kind));
+  };
+  for (std::size_t i = 1; i <= 3; ++i) engine.spawn(worker(i));
+  engine.spawn(master());
+  engine.run();
+
+  if (verify) {
+    auto expected = apps::multiply_reference(a, b, n);
+    double max_err = 0;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      max_err = std::max(max_err, std::fabs(result.c[i] - expected[i]));
+    }
+    std::printf("  verification: max |error| = %.2e %s\n", max_err,
+                max_err < 1e-9 ? "(exact)" : "(MISMATCH)");
+  }
+  return sim::to_ms(result.elapsed);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("distributed matmul, master + 3 workers (§7.5)\n\n");
+  std::printf("verifying a small problem first:\n");
+  run(apps::Cluster::StackKind::kSubstrate, 64, /*verify=*/true);
+
+  std::printf("\n%-6s %-16s %-16s %s\n", "N", "substrate (ms)",
+              "kernel TCP (ms)", "speedup");
+  for (std::size_t n : {128ul, 256ul, 384ul}) {
+    double sub = run(apps::Cluster::StackKind::kSubstrate, n, false);
+    double tcp = run(apps::Cluster::StackKind::kTcp, n, false);
+    std::printf("%-6zu %-16.2f %-16.2f %.2fx\n", n, sub, tcp, tcp / sub);
+  }
+  std::printf(
+      "\npaper: substrate ahead, with the gap narrowing as O(N^3) compute\n"
+      "outgrows O(N^2) communication\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Cluster: the paper's testbed in one object.
+//
+// N hosts, each with one CPU, a RAM-disk filesystem, one Tigon2-style NIC on
+// a gigabit link into one switch, and both protocol stacks loaded: the
+// kernel TCP baseline and EMP + the sockets-over-EMP substrate.  Tests,
+// benches and examples build one of these and pick a stack per application
+// — the application code itself is stack-agnostic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "emp/endpoint.hpp"
+#include "net/topology.hpp"
+#include "nic/nic_device.hpp"
+#include "oskernel/host.hpp"
+#include "oskernel/process.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sockets/substrate.hpp"
+#include "tcp/tcp_stack.hpp"
+
+namespace ulsocks::apps {
+
+class Cluster {
+ public:
+  struct Node {
+    Node(sim::Engine& eng, const sim::CostModel& model, std::uint16_t id,
+         net::Link& link, const sockets::SubstrateConfig& cfg,
+         const tcp::TcpTunables& tcp_tun, bool dual_cpu_nic)
+        : host(eng, model, id),
+          nic(eng, model, link, net::StarNetwork::kHostSide,
+              net::MacAddress::for_host(id), dual_cpu_nic),
+          emp(eng, model, nic, host.cpu(), id,
+              [](emp::NodeId n) {
+                return net::MacAddress::for_host(
+                    static_cast<std::uint32_t>(n));
+              }),
+          tcp(eng, model, host, nic,
+              [](std::uint16_t n) { return net::MacAddress::for_host(n); },
+              tcp_tun),
+          socks(eng, model, host, emp, cfg) {}
+
+    os::Host host;
+    nic::NicDevice nic;
+    emp::EmpEndpoint emp;
+    tcp::TcpStack tcp;
+    sockets::EmpSocketStack socks;
+  };
+
+  Cluster(sim::Engine& eng, const sim::CostModel& model,
+          std::size_t node_count, sockets::SubstrateConfig cfg = {},
+          tcp::TcpTunables tcp_tun = {}, bool dual_cpu_nic = true)
+      : eng_(eng), model_(model), net_(eng, model.wire, node_count) {
+    nodes_.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      nodes_.push_back(std::make_unique<Node>(
+          eng, model, static_cast<std::uint16_t>(i), net_.host_link(i), cfg,
+          tcp_tun, dual_cpu_nic));
+    }
+  }
+
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] net::StarNetwork& network() { return net_; }
+  [[nodiscard]] sim::Engine& engine() { return eng_; }
+  [[nodiscard]] const sim::CostModel& model() const { return model_; }
+
+  /// The stack an application should use for a given run.
+  enum class StackKind { kTcp, kSubstrate };
+  [[nodiscard]] os::SocketApi& stack(std::size_t node_idx, StackKind kind) {
+    Node& n = node(node_idx);
+    if (kind == StackKind::kTcp) return n.tcp;
+    return n.socks;
+  }
+
+ private:
+  sim::Engine& eng_;
+  sim::CostModel model_;
+  net::StarNetwork net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace ulsocks::apps

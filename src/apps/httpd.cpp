@@ -1,0 +1,116 @@
+#include "apps/httpd.hpp"
+
+#include <vector>
+
+#include "oskernel/socket_api.hpp"
+
+namespace ulsocks::apps {
+
+namespace {
+
+using os::SockAddr;
+using sim::Task;
+
+// 16-byte request: magic, requested response size, request ordinal, pad.
+void encode_request(std::uint32_t bytes, std::uint32_t ordinal,
+                    std::uint8_t* out) {
+  auto put32 = [](std::uint8_t* p, std::uint32_t v) {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+  };
+  put32(out, 0x75485454u);  // "uHTT"
+  put32(out + 4, bytes);
+  put32(out + 8, ordinal);
+  put32(out + 12, 0);
+}
+
+std::uint32_t decode_request_bytes(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[4]) |
+         (static_cast<std::uint32_t>(in[5]) << 8) |
+         (static_cast<std::uint32_t>(in[6]) << 16) |
+         (static_cast<std::uint32_t>(in[7]) << 24);
+}
+
+}  // namespace
+
+namespace {
+
+/// One connection's request/response loop, run as its own simulated
+/// process so concurrent clients don't queue behind each other.
+Task<void> handle_connection(os::Process& proc, int cs,
+                             std::uint32_t requests_per_connection,
+                             std::size_t& completed) {
+  std::vector<std::uint8_t> request(kHttpRequestBytes);
+  std::vector<std::uint8_t> body;
+  for (std::uint32_t r = 0; r < requests_per_connection; ++r) {
+    bool got_request = true;
+    try {
+      co_await proc.read_exact(cs, request);
+    } catch (const os::SocketError&) {
+      got_request = false;  // client finished early
+    }
+    if (!got_request) break;
+    std::uint32_t bytes = decode_request_bytes(request.data());
+    body.assign(bytes, 0x42);
+    co_await proc.write_all(cs, body);
+  }
+  co_await proc.close(cs);
+  ++completed;
+}
+
+}  // namespace
+
+sim::Task<void> web_server(os::Process& proc, os::SocketApi& stack,
+                           WebServerOptions options) {
+  int ls = co_await proc.socket(stack);
+  co_await proc.bind(ls, SockAddr{0, options.port});
+  co_await proc.listen(ls, 8);
+  auto& eng = proc.host().engine();
+  std::size_t accepted = 0;
+  std::size_t completed = 0;
+  while (options.max_connections == 0 ||
+         accepted < options.max_connections) {
+    int cs = co_await proc.accept(ls);
+    ++accepted;
+    // Concurrent handling: the accept loop keeps running while earlier
+    // connections are still being served.
+    eng.spawn(handle_connection(proc, cs, options.requests_per_connection,
+                                completed));
+  }
+  while (completed < accepted) co_await stack.activity().wait();
+  co_await proc.close(ls);
+}
+
+sim::Task<void> web_client(os::Process& proc, os::SocketApi& stack,
+                           WebClientOptions options,
+                           sim::OnlineStats& response_us) {
+  std::vector<std::uint8_t> request(kHttpRequestBytes);
+  std::vector<std::uint8_t> body(options.response_bytes);
+  std::size_t issued = 0;
+  auto& eng = proc.host().engine();
+  while (issued < options.total_requests) {
+    std::uint32_t batch = static_cast<std::uint32_t>(
+        std::min<std::size_t>(options.requests_per_connection,
+                              options.total_requests - issued));
+    sim::Time t0 = eng.now();
+    int fd = co_await proc.socket(stack);
+    co_await proc.connect(fd, SockAddr{options.server_node, options.port});
+    for (std::uint32_t r = 0; r < batch; ++r) {
+      encode_request(options.response_bytes,
+                     static_cast<std::uint32_t>(issued + r), request.data());
+      co_await proc.write_all(fd, request);
+      co_await proc.read_exact(fd, body);
+    }
+    co_await proc.close(fd);
+    // Average response time: the connection's wall time spread over the
+    // requests it carried (how HTTP/1.1 amortizes the handshake).
+    double per_request_us =
+        sim::to_us(eng.now() - t0) / static_cast<double>(batch);
+    for (std::uint32_t r = 0; r < batch; ++r) response_us.add(per_request_us);
+    issued += batch;
+  }
+}
+
+}  // namespace ulsocks::apps

@@ -1,0 +1,51 @@
+// Web server experiment (§7.4).
+//
+// The paper's workload: clients connect, send a 16-byte request (morally a
+// file name), and the server replies with S bytes.  Under HTTP/1.0 the
+// connection closes after one response; under HTTP/1.1 up to eight requests
+// ride one connection.  The measured quantity is the average response time
+// seen by the clients.
+#pragma once
+
+#include <cstdint>
+
+#include "oskernel/process.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ulsocks::apps {
+
+inline constexpr std::uint16_t kHttpPort = 80;
+inline constexpr std::size_t kHttpRequestBytes = 16;
+
+struct WebServerOptions {
+  std::uint16_t port = kHttpPort;
+  /// Requests served per connection: 1 = HTTP/1.0; 8 = HTTP/1.1.
+  std::uint32_t requests_per_connection = 1;
+  /// Total connections to serve before returning (0 = forever).
+  std::size_t max_connections = 0;
+};
+
+/// The server: accepts sequentially and serves each connection to
+/// completion (the paper's server is a simple iterative one).
+[[nodiscard]] sim::Task<void> web_server(os::Process& proc,
+                                         os::SocketApi& stack,
+                                         WebServerOptions options = {});
+
+struct WebClientOptions {
+  std::uint16_t server_node = 0;
+  std::uint16_t port = kHttpPort;
+  std::uint32_t response_bytes = 4;
+  std::uint32_t requests_per_connection = 1;
+  std::size_t total_requests = 64;
+};
+
+/// One client: issues requests and accumulates per-request response times
+/// (connect amortized over the requests sharing its connection) in
+/// microseconds.
+[[nodiscard]] sim::Task<void> web_client(os::Process& proc,
+                                         os::SocketApi& stack,
+                                         WebClientOptions options,
+                                         sim::OnlineStats& response_us);
+
+}  // namespace ulsocks::apps

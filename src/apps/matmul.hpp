@@ -1,0 +1,48 @@
+// Distributed matrix multiplication (§7.5).
+//
+// C = A * B on a 4-node cluster: a master generates the matrices, ships B
+// and a block of A's rows to each worker, then gathers result blocks with
+// select() — the call the paper highlights ("to know the socket that is
+// connected to any given node... we used the select() operation").
+// Workers charge their host CPU for the 2*N*N*rows floating-point
+// operations of a naive kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oskernel/process.hpp"
+#include "sim/task.hpp"
+
+namespace ulsocks::apps {
+
+inline constexpr std::uint16_t kMatmulPort = 7000;
+
+using Matrix = std::vector<double>;  // row-major N*N
+
+/// Deterministic test matrix.
+[[nodiscard]] Matrix make_matrix(std::size_t n, std::uint32_t seed);
+
+/// Reference single-node multiply (for correctness checks).
+[[nodiscard]] Matrix multiply_reference(const Matrix& a, const Matrix& b,
+                                        std::size_t n);
+
+/// Worker: accepts one job on `port`, computes its row block, replies,
+/// exits.
+[[nodiscard]] sim::Task<void> matmul_worker(os::Process& proc,
+                                            os::SocketApi& stack,
+                                            std::uint16_t port = kMatmulPort);
+
+struct MatmulResult {
+  Matrix c;
+  sim::Duration elapsed = 0;
+};
+
+/// Master: distributes A's rows over `workers` (node ids), gathers C.
+/// Results arrive in whatever order workers finish; select() multiplexes.
+[[nodiscard]] sim::Task<MatmulResult> matmul_master(
+    os::Process& proc, os::SocketApi& stack, const Matrix& a, const Matrix& b,
+    std::size_t n, std::vector<std::uint16_t> workers,
+    std::uint16_t port = kMatmulPort);
+
+}  // namespace ulsocks::apps

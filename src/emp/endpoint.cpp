@@ -1,0 +1,680 @@
+#include "emp/endpoint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/trace.hpp"
+
+namespace ulsocks::emp {
+
+namespace {
+
+/// One message may not exceed what total_frames (16-bit) can describe.
+constexpr std::uint32_t kMaxFramesPerMessage = 65'535;
+
+}  // namespace
+
+EmpEndpoint::EmpEndpoint(sim::Engine& eng, const sim::CostModel& model,
+                         nic::NicDevice& nic, sim::SerialResource& host_cpu,
+                         NodeId self,
+                         std::function<net::MacAddress(NodeId)> resolve,
+                         EmpConfig config)
+    : eng_(eng),
+      model_(model),
+      nic_(nic),
+      host_cpu_(host_cpu),
+      self_(self),
+      resolve_(std::move(resolve)),
+      config_(config) {
+  nic_.set_rx_handler(net::EtherType::kEmp,
+                      [this](net::FramePtr f) { on_frame(std::move(f)); });
+}
+
+// ---------------------------------------------------------------------------
+// Host-side operations
+// ---------------------------------------------------------------------------
+
+sim::Duration EmpEndpoint::pin_cost(const void* base) {
+  auto it = pin_map_.find(base);
+  if (it != pin_map_.end()) {
+    ++stats_.pin_hits;
+    pin_lru_.splice(pin_lru_.begin(), pin_lru_, it->second);
+    return model_.host.pin_cache_hit_ns;
+  }
+  ++stats_.pin_misses;
+  pin_lru_.push_front(base);
+  pin_map_[base] = pin_lru_.begin();
+  if (pin_lru_.size() > config_.translation_cache_capacity) {
+    pin_map_.erase(pin_lru_.back());
+    pin_lru_.pop_back();
+  }
+  return model_.host.syscall_ns + model_.host.pin_region_ns;
+}
+
+sim::Task<SendHandle> EmpEndpoint::post_send(
+    NodeId dst, Tag tag, std::span<const std::uint8_t> data) {
+  sim::Duration cost = model_.host.desc_build_ns + pin_cost(data.data()) +
+                       model_.nic.mailbox_post_ns;
+  co_await host_cpu_.use(cost);
+
+  auto st = std::make_shared<SendState>(eng_);
+  st->dst = dst;
+  st->tag = tag;
+  st->msg_id = next_msg_id_++;
+  st->data.assign(data.begin(), data.end());
+  st->total_frames = frames_for(static_cast<std::uint32_t>(data.size()),
+                                model_.wire.mtu);
+  assert(st->total_frames <= kMaxFramesPerMessage);
+  pending_sends_[st->msg_id] = st;
+  ++stats_.sends_posted;
+
+  nic_.fw_tx(model_.nic.fw_tx_post_ns,
+             [this, st] { transmit_frames(st, 0); });
+  co_return st;
+}
+
+sim::Task<RecvHandle> EmpEndpoint::post_recv(std::optional<NodeId> src,
+                                             Tag tag,
+                                             std::span<std::uint8_t> buffer) {
+  sim::Duration cost = model_.host.desc_build_ns + pin_cost(buffer.data()) +
+                       model_.nic.mailbox_post_ns;
+  co_await host_cpu_.use(cost);
+
+  auto r = std::make_shared<RecvState>(eng_);
+  r->src_match = src;
+  r->tag = tag;
+  r->buffer = buffer.data();
+  r->capacity = static_cast<std::uint32_t>(buffer.size());
+  ++stats_.recvs_posted;
+  ULS_TRACE(eng_, "emp", "node%u post_recv src=%d tag=%u h=%p", self_,
+            src ? (int)*src : -1, tag, (void*)r.get());
+
+  // File the descriptor with the NIC; it joins the tag-matching walk list
+  // in post order.  Unexpected-queue messages are delivered exclusively by
+  // reconcile_unexpected() — at filing time here, and at message-completion
+  // time in unexpected_ready() — which always scans the walk list in post
+  // order.  Claiming directly at post time would hand the message to an
+  // arbitrary descriptor and break the FIFO the substrate's byte stream
+  // depends on.
+  nic_.fw_rx(model_.nic.fw_rx_post_ns, [this, r] {
+    if (r->unposted || r->completed) return;
+    r->filed = true;
+    walk_.push_back(r);
+    reconcile_unexpected();
+  });
+  co_return r;
+}
+
+sim::Task<void> EmpEndpoint::post_unexpected(std::size_t count,
+                                             std::uint32_t bytes) {
+  // Library-allocated temporary buffers carved from one registered arena:
+  // one pin syscall for the batch, one descriptor build each.
+  sim::Duration cost =
+      static_cast<sim::Duration>(count) * model_.host.desc_build_ns +
+      model_.host.syscall_ns + model_.host.pin_region_ns +
+      model_.nic.mailbox_post_ns;
+  co_await host_cpu_.use(cost);
+  nic_.fw_rx(static_cast<sim::Duration>(count) * model_.nic.fw_rx_post_ns,
+             [this, count, bytes] {
+               for (std::size_t i = 0; i < count; ++i) {
+                 unexpected_pool_.emplace_back();
+                 unexpected_pool_.back().buffer.resize(bytes);
+               }
+             });
+}
+
+sim::Task<void> EmpEndpoint::wait_send_local(SendHandle h) {
+  co_await h->local_evt.wait();
+  co_await host_cpu_.use(model_.host.poll_iteration_ns);
+  if (h->failed) throw EmpError("EMP send failed (retries exhausted)");
+}
+
+sim::Task<void> EmpEndpoint::wait_send_acked(SendHandle h) {
+  co_await h->acked_evt.wait();
+  co_await host_cpu_.use(model_.host.poll_iteration_ns);
+  if (h->failed) throw EmpError("EMP send failed (retries exhausted)");
+}
+
+sim::Task<RecvResult> EmpEndpoint::wait_recv(RecvHandle h) {
+  co_await h->done_evt.wait();
+  co_await host_cpu_.use(model_.host.poll_iteration_ns);
+  if (h->failed) throw EmpError("EMP receive failed");
+  co_return h->result;
+}
+
+sim::Task<bool> EmpEndpoint::unpost_recv(RecvHandle h) {
+  co_await host_cpu_.use(model_.nic.mailbox_post_ns);
+  if (h->bound || h->completed) co_return false;
+  h->unposted = true;
+  nic_.fw_rx(model_.nic.fw_rx_post_ns, [this, h] {
+    std::erase_if(walk_,
+                  [&](const RecvHandle& e) { return e.get() == h.get(); });
+  });
+  co_return true;
+}
+
+sim::Task<std::optional<RecvResult>> EmpEndpoint::try_claim_unexpected(
+    std::optional<NodeId> src, Tag tag, std::span<std::uint8_t> buffer) {
+  co_await host_cpu_.use(model_.host.poll_iteration_ns);
+  for (auto* u : unexpected_ready_) {
+    bool src_ok = !src.has_value() || *src == u->from;
+    if (!src_ok || tag != u->tag || u->msg_bytes > buffer.size()) continue;
+    std::uint32_t bytes = u->msg_bytes;
+    ULS_TRACE(eng_, "emp", "node%u uq-claim from=%u tag=%u", self_, u->from,
+              u->tag);
+    RecvResult result{u->from, u->tag, bytes};
+    if (bytes > 0) std::memcpy(buffer.data(), u->buffer.data(), bytes);
+    std::erase(unexpected_ready_, u);
+    bound_.erase(key_of(u->from, u->msg_id));
+    remember_completed(u->from, u->msg_id, u->total_frames);
+    u->bound = false;
+    u->ready = false;
+    u->got.clear();
+    u->frames_received = 0;
+    u->frames_landed = 0;
+    co_await host_cpu_.use(model_.memcpy_cost(bytes));
+    co_return result;
+  }
+  co_return std::nullopt;
+}
+
+std::size_t EmpEndpoint::unexpected_free_count() const {
+  std::size_t n = 0;
+  for (const auto& u : unexpected_pool_) {
+    if (!u.bound) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// NIC-side transmit path
+// ---------------------------------------------------------------------------
+
+net::FramePtr EmpEndpoint::make_frame(
+    NodeId dst, const EmpHeader& h,
+    std::span<const std::uint8_t> fragment) const {
+  return std::make_unique<net::Frame>(resolve_(dst), nic_.mac(),
+                                      net::EtherType::kEmp,
+                                      encode_frame(h, fragment));
+}
+
+void EmpEndpoint::transmit_frames(const SendHandle& st,
+                                  std::uint32_t first_frame, bool retransmit) {
+  const std::uint32_t total = st->total_frames;
+  const std::uint32_t frag = fragment_size();
+  for (std::uint32_t idx = first_frame; idx < total; ++idx) {
+    if (retransmit) ++stats_.retransmitted_frames;
+    std::uint32_t offset0 = idx * frag;
+    std::uint32_t len0 = st->data.empty()
+                             ? 0
+                             : std::min<std::uint32_t>(
+                                   frag, static_cast<std::uint32_t>(
+                                             st->data.size()) -
+                                             offset0);
+    nic_.tx_cpu().run(model_.fw_tx_frame_cost(len0), [this, st, idx, total,
+                                                      frag] {
+      std::uint32_t offset = idx * frag;
+      std::uint32_t len = std::min<std::uint32_t>(
+          frag, static_cast<std::uint32_t>(st->data.size()) - offset);
+      if (st->data.empty()) len = 0;
+      nic_.dma_transfer(len + kHeaderBytes, [this, st, idx, total, offset,
+                                             len] {
+        EmpHeader h;
+        h.kind = FrameKind::kData;
+        h.src_node = self_;
+        h.dst_node = st->dst;
+        h.tag = st->tag;
+        h.msg_id = st->msg_id;
+        h.frame_index = static_cast<std::uint16_t>(idx);
+        h.total_frames = static_cast<std::uint16_t>(total);
+        h.msg_bytes = static_cast<std::uint32_t>(st->data.size());
+        ++stats_.data_frames_tx;
+        nic_.mac_send(make_frame(
+            st->dst, h,
+            std::span<const std::uint8_t>(st->data).subspan(offset, len)));
+        if (idx + 1 == total) {
+          if (!st->local_done) {
+            st->local_done = true;
+            st->local_evt.set();
+          }
+          arm_retransmit_timer(st);
+        }
+      });
+    });
+  }
+}
+
+void EmpEndpoint::arm_retransmit_timer(const SendHandle& st) {
+  eng_.schedule_after(config_.retransmit_timeout, [this, st] {
+    if (st->acked_done || st->failed) return;
+    if (++st->retries > config_.max_retries) {
+      fail_send(st);
+      return;
+    }
+    // Cumulative acks: resend everything past the acknowledged prefix.
+    transmit_frames(st, st->acked_frames, /*retransmit=*/true);
+  });
+}
+
+void EmpEndpoint::fail_send(const SendHandle& st) {
+  st->failed = true;
+  st->local_evt.set();
+  st->acked_evt.set();
+  pending_sends_.erase(st->msg_id);
+  fire_completion_hook();
+}
+
+// ---------------------------------------------------------------------------
+// NIC-side receive path
+// ---------------------------------------------------------------------------
+
+void EmpEndpoint::on_frame(net::FramePtr frame) {
+  auto decoded = decode_frame(frame->payload);
+  if (!decoded) {
+    ++stats_.malformed_frames;
+    return;
+  }
+  EmpHeader h = decoded->header;
+  if (h.dst_node != self_) {
+    ++stats_.misrouted_frames;  // not ours (should be filtered by the MAC)
+    return;
+  }
+  switch (h.kind) {
+    case FrameKind::kData: {
+      std::vector<std::uint8_t> fragment(decoded->fragment.begin(),
+                                         decoded->fragment.end());
+      nic_.fw_rx(model_.fw_rx_frame_cost(fragment.size()),
+                 [this, h, fragment = std::move(fragment)]() mutable {
+                   handle_data(h, std::move(fragment));
+                 });
+      break;
+    }
+    case FrameKind::kAck:
+      nic_.fw_rx(model_.nic.fw_ack_rx_ns, [this, h] { handle_ack(h); });
+      break;
+    case FrameKind::kNack:
+      nic_.fw_rx(model_.nic.fw_ack_rx_ns, [this, h] { handle_nack(h); });
+      break;
+  }
+}
+
+void EmpEndpoint::handle_data(const EmpHeader& h,
+                              std::vector<std::uint8_t> fragment) {
+  ++stats_.data_frames_rx;
+  const std::uint64_t key = key_of(h.src_node, h.msg_id);
+
+  // A message the receiver already completed must never re-match a fresh
+  // descriptor: a retransmission that raced with a slow ack would otherwise
+  // be delivered twice.  Re-ack it and drop the frame.
+  if (auto hist = completed_history_.find(key);
+      hist != completed_history_.end()) {
+    ++stats_.reacks;
+    ++stats_.duplicate_frames;
+    send_ack(h.src_node, h.msg_id, hist->second);
+    return;
+  }
+
+  Binding binding{};
+  std::size_t walked = 0;
+
+  if (auto it = bound_.find(key); it != bound_.end()) {
+    // Later frame of an in-flight message: the receive record is found
+    // directly through the frame's source index — only the FIRST frame of
+    // a message pays the pre-posted-queue walk.  (Without this, a receiver
+    // with many posted descriptors would pay the full walk on every frame
+    // of a bulk message and fall behind the wire.)
+    binding = it->second;
+    walked = 1;
+  } else {
+    // First frame of a message: walk pre-posted descriptors in post order.
+    bool too_small_candidate = false;
+    for (std::size_t i = 0; i < walk_.size() && !binding.recv; ++i) {
+      ++walked;
+      RecvState* r = walk_[i].get();
+      if (r->bound) continue;
+      bool src_ok = !r->src_match.has_value() || *r->src_match == h.src_node;
+      if (!src_ok || r->tag != h.tag) continue;
+      if (h.msg_bytes > r->capacity) {
+        too_small_candidate = true;
+        continue;
+      }
+      r->bound = true;
+      r->from = h.src_node;
+      r->msg_id = h.msg_id;
+      r->total_frames = h.total_frames;
+      r->msg_bytes = h.msg_bytes;
+      r->got.assign(h.total_frames, false);
+      binding.recv = walk_[i];
+    }
+    if (!binding.recv) {
+      // Unexpected queue: checked after every pre-posted descriptor.
+      // High-range tags (connection requests) are excluded so the backlog
+      // descriptors alone bound pending connections (§5.1).
+      bool uq_eligible = h.tag <= config_.unexpected_max_tag;
+      if (uq_eligible) {
+        // If the pool is exhausted, recycle the oldest unclaimed entry:
+        // stale control messages from closed connections must not starve
+        // live traffic.
+        bool has_free = false;
+        for (auto& u : unexpected_pool_) {
+          if (!u.bound && u.buffer.size() >= h.msg_bytes) {
+            has_free = true;
+            break;
+          }
+        }
+        if (!has_free && !unexpected_ready_.empty()) {
+          UnexpectedEntry* victim = unexpected_ready_.front();
+          unexpected_ready_.erase(unexpected_ready_.begin());
+          bound_.erase(key_of(victim->from, victim->msg_id));
+          victim->bound = false;
+          victim->ready = false;
+          victim->got.clear();
+          victim->frames_received = 0;
+          victim->frames_landed = 0;
+          ++stats_.unexpected_evictions;
+        }
+      }
+      for (auto& u : unexpected_pool_) {
+        if (!uq_eligible) break;
+        ++walked;
+        if (u.bound || u.buffer.size() < h.msg_bytes) continue;
+        u.bound = true;
+        u.from = h.src_node;
+        u.tag = h.tag;
+        u.msg_id = h.msg_id;
+        u.total_frames = h.total_frames;
+        u.msg_bytes = h.msg_bytes;
+        u.got.assign(h.total_frames, false);
+        u.frames_received = 0;
+        u.frames_landed = 0;
+        binding.unexpected = &u;
+        ++stats_.unexpected_claims;
+        break;
+      }
+    }
+    if (!binding.recv && binding.unexpected == nullptr) {
+      stats_.descriptors_walked += walked;
+      nic_.rx_cpu().run(
+          static_cast<sim::Duration>(walked) *
+              model_.nic.tag_match_per_desc_ns,
+          [] {});
+      if (too_small_candidate) {
+        ++stats_.too_small_drops;
+      } else {
+        // No descriptor: drop.  The sender's timeout retransmits, exactly
+        // the behaviour the substrate's flow control exists to avoid.
+        ULS_TRACE(eng_, "emp", "node%u drop src=%u tag=%u msg=%u", self_,
+                  h.src_node, h.tag, h.msg_id);
+        ++stats_.unmatched_drops;
+      }
+      return;
+    }
+    bound_[key] = binding;
+  }
+
+  stats_.descriptors_walked += walked;
+  nic_.rx_cpu().run(
+      static_cast<sim::Duration>(walked) * model_.nic.tag_match_per_desc_ns,
+      [this, binding, h, fragment = std::move(fragment)]() mutable {
+        deliver_fragment(binding, h, std::move(fragment));
+      });
+}
+
+void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
+                                   std::vector<std::uint8_t> fragment) {
+  std::vector<bool>* got;
+  std::uint32_t* received;
+  std::uint8_t* dest_base;
+  if (binding.recv) {
+    got = &binding.recv->got;
+    received = &binding.recv->frames_received;
+    dest_base = binding.recv->buffer;
+  } else {
+    got = &binding.unexpected->got;
+    received = &binding.unexpected->frames_received;
+    dest_base = binding.unexpected->buffer.data();
+  }
+
+  if (h.frame_index >= got->size() || (*got)[h.frame_index]) {
+    ++stats_.duplicate_frames;
+    // Re-ack the contiguous prefix so a sender that lost our ack makes
+    // progress.
+    std::uint32_t prefix = 0;
+    while (prefix < got->size() && (*got)[prefix]) ++prefix;
+    ++stats_.reacks;
+    send_ack(h.src_node, h.msg_id, prefix);
+    return;
+  }
+  (*got)[h.frame_index] = true;
+  ++*received;
+
+  // Acks are cumulative: they carry the length of the contiguous prefix of
+  // received frames, so the sender can resend exactly from the first hole.
+  std::uint32_t prefix = 0;
+  while (prefix < got->size() && (*got)[prefix]) ++prefix;
+
+  const std::uint32_t total = h.total_frames;
+  bool all_received = *received == total;
+  if (*received % config_.ack_window == 0 || all_received) {
+    send_ack(h.src_node, h.msg_id, prefix);
+  }
+
+  // Gap detection: a frame far ahead of the first hole triggers a NACK.
+  if (!all_received && h.frame_index >= 2 * config_.ack_window) {
+    std::uint32_t first_missing = 0;
+    while (first_missing < got->size() && (*got)[first_missing]) {
+      ++first_missing;
+    }
+    if (first_missing + 2 * config_.ack_window <= h.frame_index) {
+      send_nack(h.src_node, h.msg_id, first_missing);
+    }
+  }
+
+  // DMA the fragment to (pinned) memory.  Content moves now; the timing of
+  // "landed" is the DMA completion.
+  std::uint32_t offset = h.frame_index * fragment_size();
+  if (!fragment.empty()) {
+    std::memcpy(dest_base + offset, fragment.data(), fragment.size());
+  }
+  nic_.dma_transfer(fragment.size() + kHeaderBytes,
+                    [this, binding] { fragment_landed(binding); });
+}
+
+void EmpEndpoint::fragment_landed(const Binding& binding) {
+  if (binding.recv) {
+    const RecvHandle& r = binding.recv;
+    ++r->frames_landed;
+    if (r->frames_landed == r->total_frames &&
+        r->frames_received == r->total_frames) {
+      nic_.rx_cpu().run(model_.nic.completion_write_ns,
+                        [this, r] { complete_recv(r); });
+    }
+  } else {
+    UnexpectedEntry* u = binding.unexpected;
+    ++u->frames_landed;
+    if (u->frames_landed == u->total_frames &&
+        u->frames_received == u->total_frames) {
+      // The completion record is written by the firmware like any other
+      // completion, so unexpected messages cannot overtake earlier posted
+      // receives still in the completion pipeline.
+      nic_.rx_cpu().run(model_.nic.completion_write_ns,
+                        [this, u] { unexpected_ready(u); });
+    }
+  }
+}
+
+void EmpEndpoint::complete_recv(const RecvHandle& r) {
+  r->completed = true;
+  r->result = RecvResult{r->from, r->tag, r->msg_bytes};
+  bound_.erase(key_of(r->from, r->msg_id));
+  remember_completed(r->from, r->msg_id, r->total_frames);
+  std::erase_if(walk_,
+                [&](const RecvHandle& e) { return e.get() == r.get(); });
+  r->done_evt.set();
+  fire_completion_hook();
+}
+
+void EmpEndpoint::unexpected_ready(UnexpectedEntry* u) {
+  ULS_TRACE(eng_, "emp", "node%u uq-ready from=%u tag=%u bytes=%u", self_,
+            u->from, u->tag, u->msg_bytes);
+  u->ready = true;
+  unexpected_ready_.push_back(u);
+  // A descriptor may have been filed while this message was in flight to
+  // the unexpected queue.
+  reconcile_unexpected();
+  fire_completion_hook();
+}
+
+void EmpEndpoint::reconcile_unexpected() {
+  // Deliver ready unexpected messages into matching filed descriptors.
+  // The walk list is scanned in post order so delivery respects the same
+  // FIFO the NIC's tag matching gives directly-matched messages.
+  bool delivered = true;
+  while (delivered && !unexpected_ready_.empty()) {
+    delivered = false;
+    for (auto* u : unexpected_ready_) {
+      for (auto& r : walk_) {
+        if (r->bound || r->completed || r->unposted) continue;
+        bool src_ok = !r->src_match.has_value() || *r->src_match == u->from;
+        if (src_ok && r->tag == u->tag && u->msg_bytes <= r->capacity) {
+          deliver_unexpected(r, u);
+          delivered = true;
+          break;
+        }
+      }
+      if (delivered) break;  // both lists changed; restart the scan
+    }
+  }
+}
+
+void EmpEndpoint::deliver_unexpected(RecvHandle r, UnexpectedEntry* u) {
+  ULS_TRACE(eng_, "emp", "node%u uq-deliver from=%u tag=%u", self_, u->from,
+            u->tag);
+  // The descriptor is consumed by the library, never matched at the NIC.
+  r->bound = true;
+  r->from = u->from;
+  r->msg_id = u->msg_id;
+  r->total_frames = u->total_frames;
+  r->msg_bytes = u->msg_bytes;
+  std::erase_if(walk_, [&](const RecvHandle& e) { return e.get() == r.get(); });
+  std::erase(unexpected_ready_, u);
+  bound_.erase(key_of(u->from, u->msg_id));
+  remember_completed(u->from, u->msg_id, u->total_frames);
+
+  // The unexpected path costs one extra host memory copy.
+  std::uint32_t bytes = u->msg_bytes;
+  if (bytes > 0) std::memcpy(r->buffer, u->buffer.data(), bytes);
+  RecvHandle handle = r;
+  host_cpu_.run(model_.memcpy_cost(bytes), [this, handle] {
+    handle->completed = true;
+    handle->result =
+        RecvResult{handle->from, handle->tag, handle->msg_bytes};
+    handle->done_evt.set();
+    fire_completion_hook();
+  });
+
+  // Return the entry to the free pool.
+  u->bound = false;
+  u->ready = false;
+  u->got.clear();
+  u->frames_received = 0;
+  u->frames_landed = 0;
+}
+
+void EmpEndpoint::remember_completed(NodeId src, std::uint32_t msg_id,
+                                     std::uint16_t total) {
+  const std::uint64_t key = key_of(src, msg_id);
+  if (completed_history_.emplace(key, total).second) {
+    completed_order_.push_back(key);
+    if (completed_order_.size() > config_.completed_history) {
+      completed_history_.erase(completed_order_.front());
+      completed_order_.pop_front();
+    }
+  }
+}
+
+void EmpEndpoint::send_ack(NodeId to, std::uint32_t msg_id,
+                           std::uint32_t count) {
+  nic_.tx_cpu().run(model_.nic.fw_ack_tx_ns, [this, to, msg_id, count] {
+    EmpHeader h;
+    h.kind = FrameKind::kAck;
+    h.src_node = self_;
+    h.dst_node = to;
+    h.msg_id = msg_id;
+    h.ack_value = count;
+    ++stats_.acks_tx;
+    nic_.mac_send(make_frame(to, h, {}));
+  });
+}
+
+void EmpEndpoint::send_nack(NodeId to, std::uint32_t msg_id,
+                            std::uint32_t missing) {
+  nic_.tx_cpu().run(model_.nic.fw_ack_tx_ns, [this, to, msg_id, missing] {
+    EmpHeader h;
+    h.kind = FrameKind::kNack;
+    h.src_node = self_;
+    h.dst_node = to;
+    h.msg_id = msg_id;
+    h.ack_value = missing;
+    ++stats_.nacks_tx;
+    nic_.mac_send(make_frame(to, h, {}));
+  });
+}
+
+void EmpEndpoint::handle_ack(const EmpHeader& h) {
+  ++stats_.acks_rx;
+  auto it = pending_sends_.find(h.msg_id);
+  if (it == pending_sends_.end()) return;  // late ack for a finished send
+  SendHandle st = it->second;
+  if (h.ack_value > st->acked_frames) {
+    st->acked_frames = h.ack_value;
+    st->retries = 0;  // progress resets the give-up counter
+  }
+  if (st->acked_frames >= st->total_frames) {
+    st->acked_done = true;
+    st->acked_evt.set();
+    pending_sends_.erase(it);
+    fire_completion_hook();
+  }
+}
+
+void EmpEndpoint::handle_nack(const EmpHeader& h) {
+  auto it = pending_sends_.find(h.msg_id);
+  if (it == pending_sends_.end()) return;
+  SendHandle st = it->second;
+  std::uint32_t idx = h.ack_value;
+  if (idx >= st->total_frames) return;
+  // Immediate single-frame repair; the regular timer still backstops.
+  ++stats_.retransmitted_frames;
+  const std::uint32_t frag = fragment_size();
+  std::uint32_t rlen = st->data.empty()
+                           ? 0
+                           : std::min<std::uint32_t>(
+                                 frag, static_cast<std::uint32_t>(
+                                           st->data.size()) -
+                                           idx * frag);
+  nic_.tx_cpu().run(model_.fw_tx_frame_cost(rlen), [this, st, idx, frag] {
+    std::uint32_t offset = idx * frag;
+    std::uint32_t len = std::min<std::uint32_t>(
+        frag, static_cast<std::uint32_t>(st->data.size()) - offset);
+    if (st->data.empty()) len = 0;
+    nic_.dma_transfer(len + kHeaderBytes, [this, st, idx, offset, len] {
+      EmpHeader hh;
+      hh.kind = FrameKind::kData;
+      hh.src_node = self_;
+      hh.dst_node = st->dst;
+      hh.tag = st->tag;
+      hh.msg_id = st->msg_id;
+      hh.frame_index = static_cast<std::uint16_t>(idx);
+      hh.total_frames = st->total_frames;
+      hh.msg_bytes = static_cast<std::uint32_t>(st->data.size());
+      ++stats_.data_frames_tx;
+      nic_.mac_send(make_frame(
+          st->dst, hh,
+          std::span<const std::uint8_t>(st->data).subspan(offset, len)));
+    });
+  });
+}
+
+}  // namespace ulsocks::emp

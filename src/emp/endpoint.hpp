@@ -1,0 +1,328 @@
+// EMP endpoint: the host API plus the NIC-resident protocol engine.
+//
+// Mirrors the EMP of Shivam et al. (SC'01) as the paper describes it:
+//   - the host posts transmit/receive descriptors (one syscall pins and
+//     translates the buffer on first touch; a translation cache absorbs
+//     later posts of the same region);
+//   - the NIC firmware fragments messages into MTU frames, DMAs data
+//     directly between host memory and the wire (zero copy, no NIC
+//     buffering), and matches incoming frames against pre-posted
+//     descriptors by walking them in post order (550 ns per walked
+//     descriptor);
+//   - reliability is NIC-to-NIC: cumulative ACKs every `ack_window` frames
+//     (4 in the paper), NACK on a detected gap, sender-side retransmission
+//     on timeout; unmatched messages are dropped and resent by the sender;
+//   - an optional unexpected-message queue catches unmatched arrivals in
+//     temporary buffers, checked after all pre-posted descriptors.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "emp/wire.hpp"
+#include "nic/nic_device.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace ulsocks::emp {
+
+class EmpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct EmpConfig {
+  /// Frames per NIC-level acknowledgment (the paper uses 4).
+  std::uint32_t ack_window = 4;
+  /// Sender-side retransmission timeout for unacknowledged frames.  Kept
+  /// well above the worst receive-side firmware backlog so acks delayed by
+  /// a busy NIC do not trigger spurious retransmission.
+  sim::Duration retransmit_timeout = 10'000'000;  // 10 ms
+  /// Give up (fail the send) after this many retransmission rounds.
+  std::uint32_t max_retries = 50;
+  /// Translation/pin cache capacity, in distinct regions.
+  std::size_t translation_cache_capacity = 1024;
+  /// Completed (src, msg) pairs remembered for re-acking late duplicates.
+  std::size_t completed_history = 512;
+  /// Messages with tags above this never use the unexpected queue.  The
+  /// substrate reserves the high-bit tag range for connection requests,
+  /// which must be bounded by the pre-posted backlog descriptors alone
+  /// (§5.1) rather than absorbed by unexpected buffers.
+  Tag unexpected_max_tag = 0x7fff;
+};
+
+struct RecvResult {
+  NodeId src = 0;
+  Tag tag = 0;
+  std::uint32_t bytes = 0;
+};
+
+/// Shared state of one posted send.  Obtained from post_send; the handle
+/// keeps the state alive until the caller is done observing it.
+struct SendState {
+  explicit SendState(sim::Engine& eng) : local_evt(eng), acked_evt(eng) {}
+  NodeId dst = 0;
+  Tag tag = 0;
+  std::uint32_t msg_id = 0;
+  std::vector<std::uint8_t> data;  // contents of the pinned user pages
+  std::uint16_t total_frames = 0;
+  std::uint32_t acked_frames = 0;
+  std::uint32_t retries = 0;
+  bool local_done = false;  // every frame DMA'd and handed to the MAC
+  bool acked_done = false;  // receiver acknowledged the whole message
+  bool failed = false;
+  sim::ManualEvent local_evt;
+  sim::ManualEvent acked_evt;
+};
+using SendHandle = std::shared_ptr<SendState>;
+
+/// Shared state of one posted receive.
+struct RecvState {
+  explicit RecvState(sim::Engine& eng) : done_evt(eng) {}
+  std::optional<NodeId> src_match;  // nullopt: wildcard source
+  Tag tag = 0;
+  std::uint8_t* buffer = nullptr;
+  std::uint32_t capacity = 0;
+  // Binding (filled when the first frame of a message matches):
+  bool bound = false;
+  NodeId from = 0;
+  std::uint32_t msg_id = 0;
+  std::uint16_t total_frames = 0;
+  std::uint32_t msg_bytes = 0;
+  std::vector<bool> got;
+  std::uint32_t frames_received = 0;
+  std::uint32_t frames_landed = 0;  // fragments whose DMA completed
+  bool completed = false;
+  bool failed = false;
+  bool unposted = false;
+  bool filed = false;  // descriptor reached the NIC walk list
+  RecvResult result;
+  sim::ManualEvent done_evt;
+};
+using RecvHandle = std::shared_ptr<RecvState>;
+
+struct EmpStats {
+  std::uint64_t sends_posted = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t data_frames_tx = 0;
+  std::uint64_t data_frames_rx = 0;
+  std::uint64_t acks_tx = 0;
+  std::uint64_t acks_rx = 0;
+  std::uint64_t nacks_tx = 0;
+  std::uint64_t retransmitted_frames = 0;
+  std::uint64_t unmatched_drops = 0;
+  std::uint64_t too_small_drops = 0;
+  std::uint64_t duplicate_frames = 0;
+  std::uint64_t reacks = 0;
+  std::uint64_t malformed_frames = 0;
+  std::uint64_t misrouted_frames = 0;
+  std::uint64_t unexpected_claims = 0;
+  std::uint64_t unexpected_evictions = 0;
+  std::uint64_t descriptors_walked = 0;
+  std::uint64_t pin_hits = 0;
+  std::uint64_t pin_misses = 0;
+};
+
+class EmpEndpoint {
+ public:
+  /// `resolve` maps EMP node ids to MAC addresses (the cluster's routing
+  /// table).  `host_cpu` is the CPU that host-side library work runs on.
+  EmpEndpoint(sim::Engine& eng, const sim::CostModel& model,
+              nic::NicDevice& nic, sim::SerialResource& host_cpu, NodeId self,
+              std::function<net::MacAddress(NodeId)> resolve,
+              EmpConfig config = {});
+
+  EmpEndpoint(const EmpEndpoint&) = delete;
+  EmpEndpoint& operator=(const EmpEndpoint&) = delete;
+
+  [[nodiscard]] NodeId node_id() const noexcept { return self_; }
+  [[nodiscard]] const EmpConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const EmpStats& stats() const noexcept { return stats_; }
+
+  // ---- Host-side operations (coroutines charging host CPU time) ----
+
+  /// Post a transmit descriptor.  The data is read from the (pinned) user
+  /// pages by NIC DMA; the snapshot taken here models exactly that.
+  [[nodiscard]] sim::Task<SendHandle> post_send(
+      NodeId dst, Tag tag, std::span<const std::uint8_t> data);
+
+  /// Post a receive descriptor matching (src, tag); src == nullopt matches
+  /// any sender.  Checks the unexpected queue first, as the EMP library
+  /// does.
+  [[nodiscard]] sim::Task<RecvHandle> post_recv(std::optional<NodeId> src,
+                                                Tag tag,
+                                                std::span<std::uint8_t> buffer);
+
+  /// Grow the unexpected-message pool by `count` buffers of `bytes` each.
+  [[nodiscard]] sim::Task<void> post_unexpected(std::size_t count,
+                                                std::uint32_t bytes);
+
+  /// Wait until every frame of the send has been DMA'd from host memory
+  /// and handed to the MAC (the user buffer has been fully read).
+  [[nodiscard]] sim::Task<void> wait_send_local(SendHandle h);
+
+  /// Wait until the receiver's NIC acknowledged the entire message.
+  [[nodiscard]] sim::Task<void> wait_send_acked(SendHandle h);
+
+  /// Wait for a posted receive to complete; returns (src, tag, bytes).
+  [[nodiscard]] sim::Task<RecvResult> wait_recv(RecvHandle h);
+
+  /// Non-blocking completion probes.
+  [[nodiscard]] bool test_recv(const RecvHandle& h) const {
+    return h->completed || h->failed;
+  }
+  [[nodiscard]] bool test_send_acked(const SendHandle& h) const {
+    return h->acked_done || h->failed;
+  }
+
+  /// Remove a not-yet-matched receive descriptor (EMP has no garbage
+  /// collection: every descriptor must be used or explicitly unposted).
+  /// Returns false if the descriptor had already matched a message.
+  [[nodiscard]] sim::Task<bool> unpost_recv(RecvHandle h);
+
+  /// Host-side probe of the unexpected queue: if a completed message from
+  /// (src, tag) is waiting there, copy it into `buffer` (the unexpected
+  /// path's extra memory copy) and return its metadata without posting any
+  /// descriptor.  This is how the substrate consumes acknowledgments kept
+  /// on the unexpected queue (paper §6.4).
+  [[nodiscard]] sim::Task<std::optional<RecvResult>> try_claim_unexpected(
+      std::optional<NodeId> src, Tag tag, std::span<std::uint8_t> buffer);
+
+  /// Non-consuming probe: is a completed message from (src, tag) waiting on
+  /// the unexpected queue?  Used by the substrate's select() support for
+  /// datagram sockets.
+  [[nodiscard]] bool has_unexpected_ready(std::optional<NodeId> src,
+                                          Tag tag) const {
+    for (const auto* u : unexpected_ready_) {
+      bool src_ok = !src.has_value() || *src == u->from;
+      if (src_ok && tag == u->tag) return true;
+    }
+    return false;
+  }
+
+  /// Invoked on every completion event (receive completed, send acked,
+  /// unexpected message became ready).  The substrate uses it to drive its
+  /// select()/blocking machinery from one condition variable.
+  void set_completion_hook(std::function<void()> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  // ---- Resource accounting (used by substrate/leak tests) ----
+  [[nodiscard]] std::size_t posted_descriptor_count() const {
+    return walk_.size();
+  }
+  [[nodiscard]] std::size_t unexpected_free_count() const;
+  [[nodiscard]] std::size_t unexpected_ready_count() const {
+    return unexpected_ready_.size();
+  }
+  [[nodiscard]] std::size_t pending_send_count() const {
+    return pending_sends_.size();
+  }
+
+ private:
+  struct UnexpectedEntry {
+    std::vector<std::uint8_t> buffer;
+    bool bound = false;
+    bool ready = false;
+    NodeId from = 0;
+    Tag tag = 0;
+    std::uint32_t msg_id = 0;
+    std::uint16_t total_frames = 0;
+    std::uint32_t msg_bytes = 0;
+    std::vector<bool> got;
+    std::uint32_t frames_received = 0;
+    std::uint32_t frames_landed = 0;
+  };
+
+  // Either a posted descriptor or an unexpected entry can be the home of an
+  // in-flight message.  The shared handle keeps the descriptor alive for
+  // late duplicates still queued behind firmware work.
+  struct Binding {
+    RecvHandle recv;
+    UnexpectedEntry* unexpected = nullptr;
+  };
+
+  static std::uint64_t key_of(NodeId src, std::uint32_t msg_id) {
+    return (static_cast<std::uint64_t>(src) << 32) | msg_id;
+  }
+
+  // NIC-side paths.
+  void on_frame(net::FramePtr frame);
+  void handle_data(const EmpHeader& h, std::vector<std::uint8_t> fragment);
+  void handle_ack(const EmpHeader& h);
+  void handle_nack(const EmpHeader& h);
+  void deliver_fragment(Binding binding, const EmpHeader& h,
+                        std::vector<std::uint8_t> fragment);
+  void fragment_landed(const Binding& binding);
+  void complete_recv(const RecvHandle& r);
+  void unexpected_ready(UnexpectedEntry* u);
+  void reconcile_unexpected();
+  void send_ack(NodeId to, std::uint32_t msg_id, std::uint32_t count);
+  void send_nack(NodeId to, std::uint32_t msg_id, std::uint32_t missing);
+  void transmit_frames(const SendHandle& st, std::uint32_t first_frame,
+                       bool retransmit = false);
+  void arm_retransmit_timer(const SendHandle& st);
+  void remember_completed(NodeId src, std::uint32_t msg_id,
+                          std::uint16_t total);
+  void fail_send(const SendHandle& st);
+
+  /// Host-side: deliver a ready unexpected entry into a receive descriptor
+  /// (the extra memory copy of the unexpected path).
+  // Takes the handle by value: callers may pass a reference into walk_,
+  // which this function erases from.
+  void deliver_unexpected(RecvHandle r, UnexpectedEntry* u);
+
+  /// Translation/pin cache lookup; returns the host-time cost.
+  sim::Duration pin_cost(const void* base);
+
+  net::FramePtr make_frame(NodeId dst, const EmpHeader& h,
+                           std::span<const std::uint8_t> fragment) const;
+
+  [[nodiscard]] std::uint32_t fragment_size() const {
+    return max_fragment_bytes(model_.wire.mtu);
+  }
+
+  void fire_completion_hook() {
+    if (completion_hook_) completion_hook_();
+  }
+
+  sim::Engine& eng_;
+  sim::CostModel model_;
+  nic::NicDevice& nic_;
+  sim::SerialResource& host_cpu_;
+  NodeId self_;
+  std::function<net::MacAddress(NodeId)> resolve_;
+  EmpConfig config_;
+  EmpStats stats_;
+  std::function<void()> completion_hook_;
+
+  std::uint32_t next_msg_id_ = 1;
+
+  // NIC-side receive state.
+  std::vector<RecvHandle> walk_;  // pre-posted descriptors, in post order
+  std::list<UnexpectedEntry> unexpected_pool_;
+  std::vector<UnexpectedEntry*> unexpected_ready_;
+  std::unordered_map<std::uint64_t, Binding> bound_;
+  std::unordered_map<std::uint64_t, std::uint16_t> completed_history_;
+  std::deque<std::uint64_t> completed_order_;
+
+  // NIC-side transmit state.
+  std::unordered_map<std::uint32_t, SendHandle> pending_sends_;
+
+  // Host-side translation cache (LRU over region base addresses).
+  std::list<const void*> pin_lru_;
+  std::unordered_map<const void*, std::list<const void*>::iterator> pin_map_;
+};
+
+}  // namespace ulsocks::emp

@@ -1,0 +1,74 @@
+#include "emp/wire.hpp"
+
+#include <cstring>
+
+namespace ulsocks::emp {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v));
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] |
+                                    (static_cast<std::uint16_t>(in[at + 1])
+                                     << 8));
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(get16(in, at)) |
+         (static_cast<std::uint32_t>(get16(in, at + 2)) << 16);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const EmpHeader& h,
+                                       std::span<const std::uint8_t> fragment) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + fragment.size());
+  out.push_back(static_cast<std::uint8_t>(h.kind));
+  out.push_back(0);  // reserved / alignment
+  put16(out, h.src_node);
+  put16(out, h.dst_node);
+  put16(out, h.tag);
+  put32(out, h.msg_id);
+  put16(out, h.frame_index);
+  put16(out, h.total_frames);
+  // The final word is msg_bytes for data frames and ack_value for control
+  // frames (control frames carry no payload, data frames carry no ack).
+  put32(out, h.kind == FrameKind::kData ? h.msg_bytes : h.ack_value);
+  out.insert(out.end(), fragment.begin(), fragment.end());
+  return out;
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> p) {
+  if (p.size() < kHeaderBytes) return std::nullopt;
+  EmpHeader h;
+  auto kind = p[0];
+  if (kind < 1 || kind > 3) return std::nullopt;
+  h.kind = static_cast<FrameKind>(kind);
+  h.src_node = get16(p, 2);
+  h.dst_node = get16(p, 4);
+  h.tag = get16(p, 6);
+  h.msg_id = get32(p, 8);
+  h.frame_index = get16(p, 12);
+  h.total_frames = get16(p, 14);
+  h.msg_bytes = get32(p, 16);
+  // ack_value occupies bytes 16..19 only for control frames; data frames
+  // use those bytes for msg_bytes.  Control frames carry no msg_bytes.
+  if (h.kind != FrameKind::kData) {
+    h.ack_value = h.msg_bytes;
+    h.msg_bytes = 0;
+  }
+  if (h.kind == FrameKind::kData && h.total_frames == 0) return std::nullopt;
+  return DecodedFrame{h, p.subspan(kHeaderBytes)};
+}
+
+}  // namespace ulsocks::emp

@@ -1,0 +1,54 @@
+// Ethernet frames.
+//
+// Frames carry their real payload bytes end-to-end so that every layer above
+// (EMP fragmentation/reassembly, TCP segmentation, socket copies) can be
+// checked for content integrity, not just timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/mac.hpp"
+
+namespace ulsocks::net {
+
+/// EtherType values used by the simulated protocols.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,   // kernel TCP/IP path
+  kEmp = 0x88b5,    // EMP (local experimental ethertype, as EMP used)
+};
+
+struct Frame {
+  MacAddress dst{};
+  MacAddress src{};
+  EtherType type = EtherType::kEmp;
+  std::vector<std::uint8_t> payload;
+  /// Monotonic id assigned at transmission; used by fault injection and
+  /// traces to identify frames.
+  std::uint64_t wire_id = 0;
+
+  Frame() = default;
+  Frame(MacAddress d, MacAddress s, EtherType t,
+        std::vector<std::uint8_t> body)
+      : dst(d), src(s), type(t), payload(std::move(body)) {}
+
+  /// Bytes occupying the wire: preamble+SFD (8) + header (14) + payload
+  /// padded to the 46-byte minimum + FCS (4) + inter-frame gap (12).
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    std::uint64_t body = payload.size() < 46 ? 46 : payload.size();
+    return 8 + 14 + body + 4 + 12;
+  }
+};
+
+using FramePtr = std::unique_ptr<Frame>;
+
+/// Anything that can accept a fully received frame (NIC MAC, switch port).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void frame_arrived(FramePtr frame) = 0;
+};
+
+}  // namespace ulsocks::net

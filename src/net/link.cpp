@@ -1,0 +1,45 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace ulsocks::net {
+
+DropPolicy drop_nth_policy(std::vector<std::uint64_t> ordinals) {
+  // Counts frames per policy instance; ordinals are 1-based.
+  auto counter = std::make_shared<std::uint64_t>(0);
+  return [counter, ordinals = std::move(ordinals)](const Frame&) {
+    ++*counter;
+    return std::find(ordinals.begin(), ordinals.end(), *counter) !=
+           ordinals.end();
+  };
+}
+
+DropPolicy random_drop_policy(sim::Rng& rng, double p) {
+  return [&rng, p](const Frame&) { return rng.chance(p); };
+}
+
+sim::Time Link::transmit(Side side, FramePtr frame) {
+  auto& from = end_[static_cast<int>(side)];
+  auto& to = end_[1 - static_cast<int>(side)];
+  frame->wire_id = next_wire_id_++;
+  ++from.sent;
+
+  sim::Time start = std::max(eng_.now(), from.busy_until);
+  sim::Duration ser = serialization_time(*frame);
+  from.busy_until = start + ser;
+
+  if (from.drop && from.drop(*frame)) {
+    ++from.dropped;
+    return from.busy_until;  // the wire time is spent even for lost frames
+  }
+
+  sim::Time arrival = from.busy_until + propagation_ns_;
+  // Shared ownership keeps the lambda copyable for std::function.
+  auto shared = std::make_shared<FramePtr>(std::move(frame));
+  eng_.schedule_at(arrival, [sink = to.sink, shared] {
+    if (sink) sink->frame_arrived(std::move(*shared));
+  });
+  return from.busy_until;
+}
+
+}  // namespace ulsocks::net

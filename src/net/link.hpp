@@ -1,0 +1,81 @@
+// Full-duplex point-to-point link with serialization, propagation delay and
+// fault injection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/frame.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace ulsocks::net {
+
+/// Decides whether a given frame is lost on the wire.  Stateless frames in,
+/// verdicts out; installed per link direction by tests and fault benches.
+using DropPolicy = std::function<bool(const Frame&)>;
+
+/// Drop every frame whose (per-direction) transmit ordinal is in `ordinals`.
+[[nodiscard]] DropPolicy drop_nth_policy(std::vector<std::uint64_t> ordinals);
+
+/// Drop frames independently with probability `p` drawn from `rng`.
+[[nodiscard]] DropPolicy random_drop_policy(sim::Rng& rng, double p);
+
+class Link {
+ public:
+  enum class Side : std::uint8_t { kA = 0, kB = 1 };
+
+  Link(sim::Engine& eng, const sim::WireCosts& wire)
+      : eng_(eng), bps_(wire.link_bps), propagation_ns_(wire.propagation_ns) {}
+
+  void attach(Side side, FrameSink* sink) {
+    end_[static_cast<int>(side)].sink = sink;
+  }
+
+  /// Install a drop policy on the direction *transmitting from* `side`.
+  void set_drop_policy(Side side, DropPolicy policy) {
+    end_[static_cast<int>(side)].drop = std::move(policy);
+  }
+
+  /// Time to serialize `frame` onto the wire at line rate.
+  [[nodiscard]] sim::Duration serialization_time(const Frame& frame) const {
+    return sim::serialization_ns(frame.wire_bytes(), bps_);
+  }
+
+  /// Queue `frame` for transmission from `side`.  The link serializes
+  /// frames FIFO; the frame arrives at the far sink after serialization
+  /// plus propagation.  Returns the time at which the wire in this
+  /// direction becomes free (senders may use it for pacing).
+  sim::Time transmit(Side side, FramePtr frame);
+
+  /// True while the given direction is still serializing earlier frames.
+  [[nodiscard]] bool busy(Side side) const {
+    return end_[static_cast<int>(side)].busy_until > eng_.now();
+  }
+
+  [[nodiscard]] std::uint64_t frames_sent(Side side) const {
+    return end_[static_cast<int>(side)].sent;
+  }
+  [[nodiscard]] std::uint64_t frames_dropped(Side side) const {
+    return end_[static_cast<int>(side)].dropped;
+  }
+
+ private:
+  struct Endpoint {
+    FrameSink* sink = nullptr;   // receiver of frames sent *to* this side
+    DropPolicy drop;             // applied to frames sent *from* this side
+    sim::Time busy_until = 0;    // wire-free time for this direction
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  sim::Engine& eng_;
+  std::uint64_t bps_;
+  sim::Duration propagation_ns_;
+  std::uint64_t next_wire_id_ = 1;
+  Endpoint end_[2];
+};
+
+}  // namespace ulsocks::net

@@ -1,0 +1,54 @@
+// Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace ulsocks::net {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  /// Deterministic locally-administered address for simulated host `n`.
+  static constexpr MacAddress for_host(std::uint32_t n) {
+    return MacAddress{{0x02, 0x00, static_cast<std::uint8_t>(n >> 24),
+                       static_cast<std::uint8_t>(n >> 16),
+                       static_cast<std::uint8_t>(n >> 8),
+                       static_cast<std::uint8_t>(n)}};
+  }
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  [[nodiscard]] constexpr bool is_broadcast() const {
+    for (auto o : octets) {
+      if (o != 0xff) return false;
+    }
+    return true;
+  }
+
+  friend auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                  octets[1], octets[2], octets[3], octets[4], octets[5]);
+    return buf;
+  }
+};
+
+}  // namespace ulsocks::net
+
+template <>
+struct std::hash<ulsocks::net::MacAddress> {
+  std::size_t operator()(const ulsocks::net::MacAddress& m) const noexcept {
+    std::size_t h = 0;
+    for (auto o : m.octets) h = h * 131 + o;
+    return h;
+  }
+};

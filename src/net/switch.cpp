@@ -1,0 +1,81 @@
+#include "net/switch.hpp"
+
+#include <cassert>
+
+namespace ulsocks::net {
+
+EthernetSwitch::EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
+                               std::size_t port_count)
+    : eng_(eng), wire_(wire) {
+  ports_.reserve(port_count);
+  for (std::size_t i = 0; i < port_count; ++i) {
+    auto port = std::make_unique<Port>();
+    port->sink.owner = this;
+    port->sink.port = i;
+    ports_.push_back(std::move(port));
+  }
+}
+
+void EthernetSwitch::connect(std::size_t port, Link& link, Link::Side side) {
+  assert(port < ports_.size());
+  ports_[port]->link = &link;
+  ports_[port]->side = side;
+  link.attach(side, &ports_[port]->sink);
+}
+
+void EthernetSwitch::ingress(std::size_t port, FramePtr frame) {
+  // Learn the source address.
+  table_[frame->src] = port;
+
+  // Store-and-forward lookup latency, then route.
+  auto shared = std::make_shared<FramePtr>(std::move(frame));
+  eng_.schedule_after(wire_.switch_latency_ns, [this, port, shared] {
+    Frame& f = **shared;
+    auto it = f.dst.is_broadcast() ? table_.end() : table_.find(f.dst);
+    if (it != table_.end()) {
+      if (it->second != port) {
+        ++forwarded_;
+        enqueue(it->second, std::move(*shared));
+      }
+      // Frames "forwarded" back out the ingress port are dropped, matching
+      // real switch behaviour for hosts talking to themselves.
+      return;
+    }
+    // Unknown destination or broadcast: flood all other ports.
+    ++flooded_;
+    for (std::size_t p = 0; p < ports_.size(); ++p) {
+      if (p == port || ports_[p]->link == nullptr) continue;
+      enqueue(p, std::make_unique<Frame>(**shared));
+    }
+  });
+}
+
+void EthernetSwitch::enqueue(std::size_t port, FramePtr frame) {
+  Port& out = *ports_[port];
+  if (out.link == nullptr) return;
+  std::uint64_t bytes = frame->wire_bytes();
+  if (out.queued_bytes + bytes > wire_.switch_port_buffer_bytes) {
+    ++dropped_;  // drop-tail on egress buffer overflow
+    return;
+  }
+  out.queued_bytes += bytes;
+  out.queue.push_back(std::move(frame));
+  if (!out.draining) drain(port);
+}
+
+void EthernetSwitch::drain(std::size_t port) {
+  Port& out = *ports_[port];
+  if (out.queue.empty()) {
+    out.draining = false;
+    return;
+  }
+  out.draining = true;
+  FramePtr frame = std::move(out.queue.front());
+  out.queue.pop_front();
+  out.queued_bytes -= frame->wire_bytes();
+  sim::Duration ser = out.link->serialization_time(*frame);
+  out.link->transmit(out.side, std::move(frame));
+  eng_.schedule_after(ser, [this, port] { drain(port); });
+}
+
+}  // namespace ulsocks::net

@@ -1,0 +1,73 @@
+// Store-and-forward Ethernet switch with MAC learning (the Packet Engines
+// switch of the paper's testbed).
+//
+// A frame is fully serialized onto the ingress link (modelled by Link)
+// before the switch sees it — that is the "store".  The switch then charges
+// its forwarding latency, looks up the destination in the learning table
+// and queues the frame on the egress port, which drains at line rate.
+// Egress queues are byte-limited and drop-tail.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/link.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace ulsocks::net {
+
+class EthernetSwitch {
+ public:
+  EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
+                 std::size_t port_count);
+
+  /// Attach port `port` to `side` of `link`.  The switch becomes the sink
+  /// for frames arriving at that side.
+  void connect(std::size_t port, Link& link, Link::Side side);
+
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  [[nodiscard]] std::uint64_t frames_forwarded() const { return forwarded_; }
+  [[nodiscard]] std::uint64_t frames_flooded() const { return flooded_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::size_t learned_macs() const { return table_.size(); }
+
+ private:
+  struct Port;
+
+  /// FrameSink adapter: routes link deliveries to ingress(port).
+  struct PortSink final : FrameSink {
+    EthernetSwitch* owner = nullptr;
+    std::size_t port = 0;
+    void frame_arrived(FramePtr frame) override {
+      owner->ingress(port, std::move(frame));
+    }
+  };
+
+  struct Port {
+    Link* link = nullptr;
+    Link::Side side = Link::Side::kA;
+    PortSink sink;
+    std::deque<FramePtr> queue;
+    std::uint64_t queued_bytes = 0;
+    bool draining = false;
+  };
+
+  void ingress(std::size_t port, FramePtr frame);
+  void enqueue(std::size_t port, FramePtr frame);
+  void drain(std::size_t port);
+
+  sim::Engine& eng_;
+  sim::WireCosts wire_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<MacAddress, std::size_t> table_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t flooded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ulsocks::net

@@ -1,0 +1,123 @@
+// The stack-neutral sockets interface.
+//
+// Applications in this repository are written once against `SocketApi` and
+// run unmodified over the kernel TCP stack (src/tcp) or the sockets-over-EMP
+// substrate (src/sockets) — the repo-level restatement of the paper's claim
+// that existing sockets applications need no changes.  The fd-kind dispatch
+// that the paper implements by pre-loading interceptors for open()/read()/
+// write() is implemented here by os::Process's fd table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace ulsocks::os {
+
+/// Network address: (node, port).  Node ids double as EMP node indices and
+/// as "IP addresses" for the kernel stack.
+struct SockAddr {
+  std::uint16_t node = 0;
+  std::uint16_t port = 0;
+  friend bool operator==(const SockAddr&, const SockAddr&) = default;
+};
+
+enum class SockErr : std::uint8_t {
+  kInvalid,       // bad fd / bad state for this call
+  kInUse,         // bind: address already bound
+  kRefused,       // connect: nobody listening
+  kClosed,        // peer closed / connection reset
+  kTimedOut,
+  kNoResources,   // backlog overflow, out of buffers
+};
+
+class SocketError : public std::runtime_error {
+ public:
+  SocketError(SockErr code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  [[nodiscard]] SockErr code() const noexcept { return code_; }
+
+ private:
+  SockErr code_;
+};
+
+/// Socket options understood by the stacks (each stack ignores options that
+/// do not apply to it).
+enum class SockOpt : std::uint8_t {
+  kSndBuf,        // kernel TCP send-buffer bytes
+  kRcvBuf,        // kernel TCP receive-buffer bytes
+  kNoDelay,       // disable Nagle (kernel TCP)
+  kCredits,       // substrate: credit count N (posts 2N descriptors)
+  kDatagram,      // substrate: disable data streaming (paper §6.2), 0/1
+};
+
+/// A blocking BSD-style sockets interface.  All calls are coroutines in
+/// simulated time; errors are reported as SocketError.
+class SocketApi {
+ public:
+  virtual ~SocketApi() = default;
+
+  /// Create a socket; returns the stack-local descriptor.
+  [[nodiscard]] virtual sim::Task<int> socket() = 0;
+
+  [[nodiscard]] virtual sim::Task<void> bind(int sd, SockAddr local) = 0;
+  [[nodiscard]] virtual sim::Task<void> listen(int sd, int backlog) = 0;
+
+  /// Block until a connection request arrives; returns the connected
+  /// socket and fills `peer` (may be null) with the requester's address —
+  /// the information the paper's "data message exchange" scheme preserves.
+  [[nodiscard]] virtual sim::Task<int> accept(int sd, SockAddr* peer) = 0;
+
+  [[nodiscard]] virtual sim::Task<void> connect(int sd, SockAddr remote) = 0;
+
+  /// Read up to out.size() bytes; blocks until at least one byte (stream
+  /// semantics) or a full message (datagram semantics) is available.
+  /// Returns 0 on orderly peer close.
+  [[nodiscard]] virtual sim::Task<std::size_t> read(
+      int sd, std::span<std::uint8_t> out) = 0;
+
+  /// Write some prefix of `in`; returns bytes accepted (>= 1 unless `in`
+  /// is empty).  May block for buffer space / flow-control credits.
+  [[nodiscard]] virtual sim::Task<std::size_t> write(
+      int sd, std::span<const std::uint8_t> in) = 0;
+
+  [[nodiscard]] virtual sim::Task<void> close(int sd) = 0;
+
+  [[nodiscard]] virtual sim::Task<void> set_option(int sd, SockOpt opt,
+                                                   int value) = 0;
+
+  /// select() support: non-blocking readability probe plus a condition
+  /// variable notified on any socket state change in this stack.
+  [[nodiscard]] virtual bool readable(int sd) const = 0;
+  [[nodiscard]] virtual sim::CondVar& activity() = 0;
+
+  /// Convenience: write the whole buffer.
+  [[nodiscard]] sim::Task<void> write_all(int sd,
+                                          std::span<const std::uint8_t> in) {
+    std::size_t done = 0;
+    while (done < in.size()) {
+      done += co_await write(sd, in.subspan(done));
+    }
+  }
+
+  /// Convenience: read exactly out.size() bytes; throws kClosed on early
+  /// EOF.
+  [[nodiscard]] sim::Task<void> read_exact(int sd,
+                                           std::span<std::uint8_t> out) {
+    std::size_t done = 0;
+    while (done < out.size()) {
+      std::size_t n = co_await read(sd, out.subspan(done));
+      if (n == 0) {
+        throw SocketError(SockErr::kClosed, "peer closed during read_exact");
+      }
+      done += n;
+    }
+  }
+};
+
+}  // namespace ulsocks::os

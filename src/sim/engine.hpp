@@ -1,0 +1,178 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a single time-ordered event queue.  Events at equal
+// timestamps fire in the order they were scheduled (a monotonically
+// increasing sequence number breaks ties), which makes every run
+// bit-deterministic for a fixed seed.
+//
+// Coroutine integration: `spawn()` adopts a detached `Task<void>` (a
+// simulated process) and starts it through the queue; `delay()`, and the
+// primitives in sync.hpp, suspend coroutines and resume them via scheduled
+// events, never inline, so causality always follows queue order.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace ulsocks::sim {
+
+/// Thrown by Engine::run() when a spawned process terminated with an
+/// uncaught exception.  Carries the original message.
+class ProcessError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1) : rng_(seed) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Total events executed so far (for perf accounting).
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return events_executed_;
+  }
+
+  /// Schedule `fn` to run at absolute time `t` (>= now()).
+  void schedule_at(Time t, std::function<void()> fn) {
+    assert(t >= now_);
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedule `fn` to run `dt` from now.
+  void schedule_after(Duration dt, std::function<void()> fn) {
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Adopt a detached simulated process.  The process is started through
+  /// the event queue at the current time; uncaught exceptions stop the run
+  /// and are rethrown from run().
+  void spawn(Task<void> process) {
+    roots_.push_back(wrap_root(std::move(process)));
+    auto h = roots_.back().handle();
+    schedule_at(now_, [h] { h.resume(); });
+    maybe_reap();
+  }
+
+  /// Awaitable: suspend the current coroutine for `dt` simulated time.
+  [[nodiscard]] auto delay(Duration dt) {
+    struct Awaiter {
+      Engine* eng;
+      Duration dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        eng->schedule_after(dt, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, dt};
+  }
+
+  /// Awaitable: reschedule the current coroutine at the same timestamp,
+  /// after every event already queued for this instant.
+  [[nodiscard]] auto yield() { return delay(0); }
+
+  /// Run until the queue drains, `request_stop()` is called, or a spawned
+  /// process fails (rethrown as ProcessError).
+  void run() {
+    while (!stop_ && !queue_.empty()) {
+      step();
+      if (root_error_) {
+        auto err = root_error_;
+        root_error_ = nullptr;
+        std::rethrow_exception(err);
+      }
+    }
+  }
+
+  /// Run until simulated time would exceed `deadline` (events at exactly
+  /// `deadline` still run).  Returns true if the queue drained.
+  bool run_until(Time deadline) {
+    while (!stop_ && !queue_.empty() && queue_.top().t <= deadline) {
+      step();
+      if (root_error_) {
+        auto err = root_error_;
+        root_error_ = nullptr;
+        std::rethrow_exception(err);
+      }
+    }
+    if (!queue_.empty() && queue_.top().t > deadline && now_ < deadline) {
+      now_ = deadline;
+    }
+    return queue_.empty();
+  }
+
+  /// Stop run() after the current event.
+  void request_stop() noexcept { stop_ = true; }
+  void clear_stop() noexcept { stop_ = false; }
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Record a process failure (used by the root wrapper; also usable by
+  /// tests to inject failures).
+  void set_error(std::exception_ptr e) noexcept { root_error_ = e; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  void step() {
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() immediately removes the moved-from element.
+    auto& top = const_cast<Event&>(queue_.top());
+    Time t = top.t;
+    auto fn = std::move(top.fn);
+    queue_.pop();
+    assert(t >= now_);
+    now_ = t;
+    ++events_executed_;
+    fn();
+  }
+
+  Task<void> wrap_root(Task<void> process) {
+    try {
+      co_await process;
+    } catch (...) {
+      root_error_ = std::current_exception();
+      stop_ = true;
+    }
+  }
+
+  void maybe_reap() {
+    if (roots_.size() < 64) return;
+    std::erase_if(roots_, [](const Task<void>& t) { return t.done(); });
+  }
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  bool stop_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Task<void>> roots_;
+  std::exception_ptr root_error_;
+  Rng rng_;
+};
+
+}  // namespace ulsocks::sim

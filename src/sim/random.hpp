@@ -1,0 +1,53 @@
+// Deterministic random number utilities.
+//
+// Every stochastic choice in the simulation (loss injection, workload
+// generation, jitter) draws from an explicitly seeded engine so that runs
+// are reproducible and failures can be replayed from a seed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+namespace ulsocks::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  void reseed(std::uint64_t seed) { gen_.seed(seed); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed duration with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  /// Fill a buffer with pseudo-random bytes (payload generation).
+  template <class Container>
+  void fill_bytes(Container& c) {
+    for (auto& b : c) {
+      b = static_cast<typename Container::value_type>(gen_() & 0xff);
+    }
+  }
+
+  std::mt19937_64& engine() noexcept { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace ulsocks::sim

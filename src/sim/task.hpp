@@ -1,0 +1,135 @@
+// Lazily-started coroutine task for simulated processes.
+//
+// A `Task<T>` is the return type of every coroutine in the simulation:
+// application processes, protocol handlers, NIC firmware loops.  Tasks are
+// lazy (they do not run until awaited or spawned on the Engine), support
+// symmetric transfer so arbitrarily deep call chains use O(1) stack, and
+// propagate exceptions to their awaiter.
+//
+// The whole simulation is single-threaded; no synchronization is needed.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace ulsocks::sim {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <class P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      // Resume whoever was awaiting us; if detached, park forever (the
+      // owning Task destroys the frame).
+      if (auto cont = h.promise().continuation) return cont;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+template <class T>
+struct Promise final : PromiseBase {
+  std::optional<T> value;
+  Task<T> get_return_object();
+  template <class U>
+  void return_value(U&& v) {
+    value.emplace(std::forward<U>(v));
+  }
+};
+
+template <>
+struct Promise<void> final : PromiseBase {
+  Task<void> get_return_object();
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+/// An owning handle to a lazily-started coroutine.  Move-only.
+template <class T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(Handle h) noexcept : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return bool(handle_); }
+  [[nodiscard]] bool done() const noexcept { return handle_ && handle_.done(); }
+
+  /// Release ownership of the coroutine frame (caller must destroy it).
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+  Handle handle() const noexcept { return handle_; }
+
+  /// Awaiting a task starts it; the awaiter resumes when it completes.
+  auto operator co_await() const& noexcept {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer: run the child now
+      }
+      T await_resume() const {
+        auto& p = h.promise();
+        if (p.exception) std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) return std::move(*p.value);
+      }
+    };
+    return Awaiter{handle_};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+  Handle handle_{};
+};
+
+namespace detail {
+
+template <class T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace ulsocks::sim

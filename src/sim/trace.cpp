@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ulsocks::sim::trace {
+
+namespace {
+Level g_level = Level::kOff;
+bool g_env_checked = false;
+}  // namespace
+
+void set_level(Level level) noexcept {
+  g_level = level;
+  g_env_checked = true;
+}
+
+Level level() noexcept { return g_level; }
+
+void init_from_env() noexcept {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  if (const char* env = std::getenv("ULSOCKS_TRACE")) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) g_level = static_cast<Level>(v);
+  }
+}
+
+bool enabled(Level level) noexcept {
+  if (!g_env_checked) init_from_env();
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void logf(Level level, Time now, const char* component, const char* fmt, ...) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%12.3f us] %-10s ", to_us(now), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ulsocks::sim::trace

@@ -1,0 +1,43 @@
+// Lightweight component-tagged tracing.
+//
+// Off by default; enable with `trace::set_level(trace::Level::kDebug)` or
+// the ULSOCKS_TRACE environment variable (0..3).  Tracing is for debugging
+// protocol interleavings; benches and tests run with it off.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ulsocks::sim::trace {
+
+enum class Level : std::uint8_t { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+void set_level(Level level) noexcept;
+[[nodiscard]] Level level() noexcept;
+[[nodiscard]] bool enabled(Level level) noexcept;
+
+/// Read ULSOCKS_TRACE from the environment (called lazily on first log).
+void init_from_env() noexcept;
+
+/// printf-style trace line, prefixed with simulated time and component tag.
+void logf(Level level, Time now, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace ulsocks::sim::trace
+
+// Convenience macros: cheap when tracing is off (single branch).
+#define ULS_TRACE(eng, component, ...)                                     \
+  do {                                                                     \
+    if (::ulsocks::sim::trace::enabled(::ulsocks::sim::trace::Level::kDebug)) \
+      ::ulsocks::sim::trace::logf(::ulsocks::sim::trace::Level::kDebug,    \
+                                  (eng).now(), component, __VA_ARGS__);    \
+  } while (0)
+
+#define ULS_INFO(eng, component, ...)                                      \
+  do {                                                                     \
+    if (::ulsocks::sim::trace::enabled(::ulsocks::sim::trace::Level::kInfo))  \
+      ::ulsocks::sim::trace::logf(::ulsocks::sim::trace::Level::kInfo,     \
+                                  (eng).now(), component, __VA_ARGS__);    \
+  } while (0)

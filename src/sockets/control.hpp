@@ -1,0 +1,93 @@
+// Substrate control-channel and connection-management wire formats.
+//
+// Connection management uses the paper's "data message exchange" (§5.1):
+// an explicit request message carrying the client's identity and channel
+// parameters, answered by an explicit reply.  All other control traffic
+// (credit acks, close notification, rendezvous request/grant) flows over a
+// per-connection control tag.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ulsocks::sockets {
+
+enum class CtrlType : std::uint16_t {
+  kCreditAck = 1,   // a: credit count being returned
+  kClose = 2,       // connection teardown notification
+  kRendReq = 3,     // a: payload bytes, b: request id
+  kRendGrant = 4,   // b: request id (descriptor now posted)
+  kConnReply = 5,   // a: packed tags, b: credits, c: buffer_bytes
+  kConnRefuse = 6,
+};
+
+struct CtrlMsg {
+  CtrlType type = CtrlType::kCreditAck;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+};
+
+inline constexpr std::size_t kCtrlBytes = 16;
+
+struct ConnRequest {
+  std::uint16_t client_node = 0;
+  std::uint16_t client_port = 0;
+  // The initiator allocates BOTH channels.  EMP tag matching is on
+  // (source index, tag), so tags only need to be unique per source; the
+  // client draws the server-side tags from a disjoint range of its own
+  // space.  This is what lets connect() complete on the EMP-level ack of
+  // the request, without waiting for an application-level reply — the
+  // paper's "connection time of a message exchange".
+  std::uint16_t data_tag = 0;  // client receives data on this tag
+  std::uint16_t ctrl_tag = 0;  // ... control messages on this one
+  std::uint16_t rend_tag = 0;  // ... rendezvous payloads on this one
+  std::uint16_t srv_data_tag = 0;  // server receives data on this tag
+  std::uint16_t srv_ctrl_tag = 0;
+  std::uint16_t srv_rend_tag = 0;
+  std::uint32_t credits = 0;   // descriptors each side pre-posts
+  std::uint32_t buffer_bytes = 0;
+  friend bool operator==(const ConnRequest&, const ConnRequest&) = default;
+};
+
+inline constexpr std::size_t kConnRequestBytes = 24;
+
+/// Pack/unpack three 16-bit tags into CtrlMsg::a plus the low half of c.
+[[nodiscard]] std::vector<std::uint8_t> encode_ctrl(const CtrlMsg& m);
+[[nodiscard]] std::optional<CtrlMsg> decode_ctrl(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_conn_request(
+    const ConnRequest& r);
+[[nodiscard]] std::optional<ConnRequest> decode_conn_request(
+    std::span<const std::uint8_t> bytes);
+
+/// Eager data messages carry a 4-byte header: piggybacked credit return
+/// (§6.1) plus flags.
+struct DataHeader {
+  std::uint16_t piggyback_credits = 0;
+  std::uint16_t flags = 0;
+};
+inline constexpr std::size_t kDataHeaderBytes = 4;
+
+inline void encode_data_header(const DataHeader& h,
+                                             std::uint8_t* out) {
+  out[0] = static_cast<std::uint8_t>(h.piggyback_credits);
+  out[1] = static_cast<std::uint8_t>(h.piggyback_credits >> 8);
+  out[2] = static_cast<std::uint8_t>(h.flags);
+  out[3] = static_cast<std::uint8_t>(h.flags >> 8);
+}
+
+[[nodiscard]] inline DataHeader decode_data_header(const std::uint8_t* in) {
+  DataHeader h;
+  h.piggyback_credits =
+      static_cast<std::uint16_t>(in[0] | (static_cast<std::uint16_t>(in[1])
+                                          << 8));
+  h.flags = static_cast<std::uint16_t>(
+      in[2] | (static_cast<std::uint16_t>(in[3]) << 8));
+  return h;
+}
+
+}  // namespace ulsocks::sockets

@@ -1,0 +1,880 @@
+#include "sockets/substrate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/trace.hpp"
+
+namespace ulsocks::sockets {
+
+using os::SockAddr;
+using os::SockErr;
+using os::SocketError;
+
+namespace {
+// Datagram sockets keep no staging descriptors: small messages land on the
+// EMP unexpected queue (entries are this large), bigger ones rendezvous.
+constexpr std::uint32_t kDgEagerLimit = 4096;
+}  // namespace
+
+EmpSocketStack::EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
+                               os::Host& host, emp::EmpEndpoint& ep,
+                               SubstrateConfig default_config)
+    : eng_(eng),
+      model_(model),
+      host_(host),
+      ep_(ep),
+      default_cfg_(default_config),
+      activity_(eng) {
+  // Every EMP completion wakes whatever substrate call is blocked.
+  ep_.set_completion_hook([this] { activity_.notify_all(); });
+}
+
+EmpSocketStack::SockPtr& EmpSocketStack::sock(int sd) {
+  auto it = socks_.find(sd);
+  if (it == socks_.end()) {
+    throw SocketError(SockErr::kInvalid, "bad socket descriptor");
+  }
+  return it->second;
+}
+
+const EmpSocketStack::SockPtr* EmpSocketStack::find_sock(int sd) const {
+  auto it = socks_.find(sd);
+  return it == socks_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t> EmpSocketStack::get_arena(std::size_t bytes) {
+  auto& bucket = arena_pool_[bytes];
+  if (!bucket.empty()) {
+    auto arena = std::move(bucket.back());
+    bucket.pop_back();
+    return arena;
+  }
+  return std::vector<std::uint8_t>(bytes);
+}
+
+void EmpSocketStack::release_arena(std::vector<std::uint8_t> arena) {
+  if (arena.empty()) return;
+  arena_pool_[arena.size()].push_back(std::move(arena));
+}
+
+emp::Tag EmpSocketStack::alloc_tags(TagRole role) {
+  // Prefer fresh tags and recycle oldest-freed last: a late message from a
+  // closed connection (a straggling Close or credit ack) must not match a
+  // new connection that happens to reuse its tags.  Round-robin over the
+  // ~5400 bases per role makes that window astronomically unlikely.
+  if (role == TagRole::kLocal) {
+    if (next_local_base_ + 3 < 0x4000) {
+      emp::Tag t = next_local_base_;
+      next_local_base_ = static_cast<emp::Tag>(next_local_base_ + 3);
+      return t;
+    }
+    assert(!free_local_bases_.empty() && "local tag space exhausted");
+    emp::Tag t = free_local_bases_.front();
+    free_local_bases_.pop_front();
+    return t;
+  }
+  if (next_remote_base_ + 3 < 0x8000) {
+    emp::Tag t = next_remote_base_;
+    next_remote_base_ = static_cast<emp::Tag>(next_remote_base_ + 3);
+    return t;
+  }
+  assert(!free_remote_bases_.empty() && "remote tag space exhausted");
+  emp::Tag t = free_remote_bases_.front();
+  free_remote_bases_.pop_front();
+  return t;
+}
+
+void EmpSocketStack::free_tags(emp::Tag base) {
+  if (base >= 0x4000) {
+    free_remote_bases_.push_back(base);
+  } else {
+    free_local_bases_.push_back(base);
+  }
+}
+
+sim::Task<void> EmpSocketStack::comm_thread_penalty(const SockPtr& s) {
+  if (s->cfg.flow == FlowControl::kCommThread) {
+    // The polling communication thread costs ~20 us of synchronization per
+    // socket operation (measured in the paper, §5.2).
+    co_await host_.cpu().use(model_.host.thread_sync_ns);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket lifecycle
+// ---------------------------------------------------------------------------
+
+sim::Task<int> EmpSocketStack::socket() {
+  co_await host_.cpu().use(model_.host.desc_build_ns);
+  auto s = std::make_shared<Sock>();
+  s->cfg = default_cfg_;
+  int sd = next_sd_++;
+  s->sd = sd;
+  socks_[sd] = std::move(s);
+  co_return sd;
+}
+
+sim::Task<void> EmpSocketStack::bind(int sd, SockAddr local) {
+  co_await host_.cpu().use(model_.host.desc_build_ns);
+  auto& s = sock(sd);
+  if (s->state != Sock::State::kFresh) {
+    throw SocketError(SockErr::kInvalid, "bind on active socket");
+  }
+  for (const auto& [other_sd, other] : socks_) {
+    if (other->state == Sock::State::kListening &&
+        other->local.port == local.port) {
+      throw SocketError(SockErr::kInUse, "port already bound");
+    }
+  }
+  s->local = SockAddr{ep_.node_id(), local.port};
+  s->state = Sock::State::kBound;
+}
+
+sim::Task<void> EmpSocketStack::listen(int sd, int backlog) {
+  auto s = sock(sd);
+  if (s->state != Sock::State::kBound) {
+    throw SocketError(SockErr::kInvalid, "listen on unbound socket");
+  }
+  s->backlog = std::max(1, backlog);
+  // §5.1: post one connection-request descriptor per backlog entry; a
+  // request that finds them all occupied is dropped and retried by EMP's
+  // reliability, bounding simultaneous un-accepted connections.
+  s->arena = get_arena(static_cast<std::size_t>(s->backlog) * 64);
+  for (int i = 0; i < s->backlog; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->buffer = std::span(s->arena).subspan(
+        static_cast<std::size_t>(i) * 64, 64);
+    slot->handle = co_await ep_.post_recv(std::nullopt,
+                                          listen_tag(s->local.port),
+                                          slot->buffer);
+    s->conn_slots.push_back(std::move(slot));
+  }
+  // Stock the unexpected pool before any client can race us: requests'
+  // early data (sent between the initiator's connect and our accept) must
+  // have somewhere to land from the very first connection.
+  if (s->cfg.unexpected_queue_acks) {
+    std::size_t needed = std::max<std::size_t>(2, s->cfg.credits);
+    std::size_t have = ep_.unexpected_free_count();
+    if (have < needed) {
+      co_await ep_.post_unexpected(needed - have, 4096);
+    }
+  }
+  s->state = Sock::State::kListening;
+}
+
+sim::Task<void> EmpSocketStack::post_connection_resources(const SockPtr& s) {
+  // All temporary buffers come from one arena, registered (pinned) with a
+  // single syscall on the first post; subsequent posts hit the EMP
+  // translation cache.
+  const std::size_t slot_bytes = s->cfg.buffer_bytes + kDataHeaderBytes;
+  const bool streaming = s->cfg.data_streaming;
+  std::uint32_t ndata = streaming ? s->cfg.credits : 0;
+  std::uint32_t nctrl = s->cfg.ctrl_descriptors();
+  s->arena = get_arena(ndata * slot_bytes + nctrl * 64);
+  // One send-staging slot per credit: a write returns as soon as its send
+  // is posted, and the credit bound guarantees a slot is never overwritten
+  // while the NIC may still read it.
+  s->send_staging = get_arena(s->cfg.credits * slot_bytes);
+  if (!streaming) s->dg_staging = get_arena(kDgEagerLimit);
+  // N data descriptors with temporary buffers (data streaming only: the
+  // datagram option delivers straight to the user buffer, §6.2)...
+  for (std::uint32_t i = 0; i < ndata; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->buffer = std::span(s->arena).subspan(i * slot_bytes, slot_bytes);
+    slot->handle =
+        co_await ep_.post_recv(s->peer_node, s->my_data, slot->buffer);
+    s->data_slots.push_back(std::move(slot));
+  }
+  // ... plus control descriptors ("2N", §6.1) unless acks ride the
+  // unexpected queue (§6.4).
+  for (std::uint32_t i = 0; i < nctrl; ++i) {
+    auto slot = std::make_unique<Slot>();
+    slot->buffer = std::span(s->arena).subspan(
+        ndata * slot_bytes + i * 64, 64);
+    slot->handle =
+        co_await ep_.post_recv(s->peer_node, s->my_ctrl, slot->buffer);
+    s->ctrl_slots.push_back(std::move(slot));
+  }
+  if (s->cfg.unexpected_queue_acks) {
+    // Entries are sized to also absorb small data messages that arrive
+    // between the initiator's connect() and the acceptor's resource
+    // posting (the "early data" the one-exchange connection setup allows).
+    std::size_t needed = std::max<std::size_t>(2, s->cfg.credits);
+    if (!streaming) needed += s->cfg.credits;  // datagrams also land here
+    std::size_t have = ep_.unexpected_free_count();
+    if (have < needed) {
+      co_await ep_.post_unexpected(needed - have, kDgEagerLimit);
+    }
+  }
+}
+
+sim::Task<void> EmpSocketStack::connect(int sd, SockAddr remote) {
+  auto s = sock(sd);
+  if (s->state != Sock::State::kFresh && s->state != Sock::State::kBound) {
+    throw SocketError(SockErr::kInvalid, "connect on active socket");
+  }
+  if (s->state == Sock::State::kFresh) {
+    s->local = SockAddr{ep_.node_id(), next_ephemeral_++};
+  }
+  s->remote = remote;
+  s->peer_node = remote.node;
+  // The initiator allocates both channels (§5.1 data message exchange:
+  // everything the server needs travels in the request).
+  s->owns_tags = true;
+  s->my_data = alloc_tags(TagRole::kLocal);
+  s->my_ctrl = static_cast<emp::Tag>(s->my_data + 1);
+  s->my_rend = static_cast<emp::Tag>(s->my_data + 2);
+  s->remote_base = alloc_tags(TagRole::kRemote);
+  s->peer_data = s->remote_base;
+  s->peer_ctrl = static_cast<emp::Tag>(s->remote_base + 1);
+  s->peer_rend = static_cast<emp::Tag>(s->remote_base + 2);
+  s->peer_buffer_bytes = s->cfg.buffer_bytes;
+  s->send_credits = s->cfg.credits;
+  s->state = Sock::State::kConnecting;
+  co_await post_connection_resources(s);
+
+  ConnRequest req;
+  req.client_node = s->local.node;
+  req.client_port = s->local.port;
+  req.data_tag = s->my_data;
+  req.ctrl_tag = s->my_ctrl;
+  req.rend_tag = s->my_rend;
+  req.srv_data_tag = s->peer_data;
+  req.srv_ctrl_tag = s->peer_ctrl;
+  req.srv_rend_tag = s->peer_rend;
+  req.credits = s->cfg.credits;
+  req.buffer_bytes = s->cfg.buffer_bytes;
+  auto h = co_await ep_.post_send(remote.node, listen_tag(remote.port),
+                                  encode_conn_request(req));
+  ++stats_.connections_initiated;
+  eng_.spawn(pump(s));
+
+  // connect() completes on the EMP-level acknowledgment of the request:
+  // the ack proves a pre-posted backlog descriptor absorbed it.  A full
+  // backlog leaves the request unmatched until accept() reposts a
+  // descriptor (EMP retranssmits meanwhile); exhausted retries mean nobody
+  // is listening.
+  bool refused = false;
+  try {
+    co_await ep_.wait_send_acked(std::move(h));
+  } catch (const emp::EmpError&) {
+    refused = true;
+  }
+  if (refused) {
+    s->refused = true;
+    s->terminated = true;
+    co_await cleanup(s);
+    throw SocketError(SockErr::kRefused, "connection refused");
+  }
+  s->established = true;
+  s->state = Sock::State::kConnected;
+  activity_.notify_all();
+}
+
+sim::Task<int> EmpSocketStack::accept(int sd, SockAddr* peer) {
+  auto listener = sock(sd);
+  if (listener->state != Sock::State::kListening) {
+    throw SocketError(SockErr::kInvalid, "accept on non-listening socket");
+  }
+  for (;;) {
+    for (auto& slot : listener->conn_slots) {
+      if (!ep_.test_recv(slot->handle)) continue;
+      // Head-of-backlog connection request (§5.1).
+      auto req = decode_conn_request(slot->buffer);
+      // Recycle the descriptor so the backlog depth is maintained.
+      slot->handle = co_await ep_.post_recv(
+          std::nullopt, listen_tag(listener->local.port), slot->buffer);
+      if (!req) continue;  // malformed request: drop
+
+      auto child = std::make_shared<Sock>();
+      child->cfg = listener->cfg;
+      // Connection parameters are the initiator's: it pre-posted its side
+      // already and sized the request accordingly.
+      child->cfg.credits = req->credits;
+      child->cfg.buffer_bytes = req->buffer_bytes;
+      child->local = listener->local;
+      child->remote = SockAddr{req->client_node, req->client_port};
+      child->peer_node = req->client_node;
+      child->peer_data = req->data_tag;
+      child->peer_ctrl = req->ctrl_tag;
+      child->peer_rend = req->rend_tag;
+      child->peer_buffer_bytes = req->buffer_bytes;
+      child->send_credits = req->credits;
+      child->owns_tags = false;  // tags live in the initiator's space
+      child->my_data = req->srv_data_tag;
+      child->my_ctrl = req->srv_ctrl_tag;
+      child->my_rend = req->srv_rend_tag;
+      child->established = true;
+      child->state = Sock::State::kConnected;
+      co_await post_connection_resources(child);
+      // No reply message: the initiator already completed its connect on
+      // the EMP ack of the request.
+      int child_sd = next_sd_++;
+      child->sd = child_sd;
+      socks_[child_sd] = child;
+      eng_.spawn(pump(child));
+      ++stats_.connections_accepted;
+      if (peer != nullptr) *peer = child->remote;
+      co_return child_sd;
+    }
+    co_await activity_.wait();
+  }
+}
+
+sim::Task<void> EmpSocketStack::close(int sd) {
+  co_await host_.cpu().use(model_.host.desc_build_ns);
+  auto s = sock(sd);
+  if (s->state == Sock::State::kListening) {
+    for (auto& slot : s->conn_slots) {
+      bool ok = co_await ep_.unpost_recv(slot->handle);
+      (void)ok;  // a matched-but-unaccepted request is simply dropped
+    }
+    s->conn_slots.clear();
+    release_arena(std::move(s->arena));
+    s->state = Sock::State::kClosed;
+    socks_.erase(sd);
+    activity_.notify_all();
+    co_return;
+  }
+  if (s->state != Sock::State::kConnected) {
+    socks_.erase(sd);
+    activity_.notify_all();
+    co_return;
+  }
+  if (s->local_closed) co_return;
+  s->local_closed = true;
+  ++stats_.closes_tx;
+  // Return any credits the peer is still owed, then notify the close
+  // (§5.3: "sends back a closed message to the connected node").
+  co_await maybe_send_credit_ack(s, /*force=*/true);
+  CtrlMsg m;
+  m.type = CtrlType::kClose;
+  m.a = static_cast<std::uint32_t>(s->data_msgs_sent);
+  m.b = static_cast<std::uint32_t>(s->data_msgs_sent >> 32);
+  co_await send_ctrl(s, m);
+  activity_.notify_all();  // the pump finishes teardown when both closed
+}
+
+sim::Task<void> EmpSocketStack::set_option(int sd, os::SockOpt opt,
+                                           int value) {
+  co_await host_.cpu().use(model_.host.desc_build_ns);
+  auto& s = sock(sd);
+  // A listener's options configure the connections it will accept.
+  bool configurable = s->state == Sock::State::kFresh ||
+                      s->state == Sock::State::kBound ||
+                      s->state == Sock::State::kListening;
+  switch (opt) {
+    case os::SockOpt::kCredits:
+      if (!configurable) {
+        throw SocketError(SockErr::kInvalid, "credits fixed after connect");
+      }
+      s->cfg.credits = static_cast<std::uint32_t>(std::max(value, 1));
+      break;
+    case os::SockOpt::kDatagram:
+      if (!configurable) {
+        throw SocketError(SockErr::kInvalid, "mode fixed after connect");
+      }
+      s->cfg.data_streaming = value == 0;
+      break;
+    default:
+      break;  // kernel-TCP options are no-ops here
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Control channel
+// ---------------------------------------------------------------------------
+
+sim::Task<void> EmpSocketStack::send_ctrl(const SockPtr& s, CtrlMsg m) {
+  auto h = co_await ep_.post_send(s->peer_node, s->peer_ctrl, encode_ctrl(m));
+  (void)h;  // EMP's reliability delivers it; no need to block
+}
+
+void EmpSocketStack::apply_ctrl(const SockPtr& s, const CtrlMsg& m) {
+  switch (m.type) {
+    case CtrlType::kCreditAck:
+      s->send_credits += m.a;
+      break;
+    case CtrlType::kClose:
+      // The close notification carries how many data messages the peer
+      // sent; EOF is surfaced only after all of them were consumed, so a
+      // close can never overtake in-flight data.
+      s->peer_closed = true;
+      s->peer_msgs_total =
+          static_cast<std::uint64_t>(m.a) |
+          (static_cast<std::uint64_t>(m.b) << 32);
+      break;
+    case CtrlType::kRendReq:
+      s->pending_rend.push_back(m);
+      break;
+    case CtrlType::kRendGrant:
+      s->rend_granted[m.b] = true;
+      break;
+    case CtrlType::kConnReply:
+      break;  // legacy: connections complete on the request's EMP ack
+    case CtrlType::kConnRefuse:
+      s->refused = true;
+      break;
+  }
+  activity_.notify_all();
+}
+
+sim::Task<void> EmpSocketStack::drain_ctrl(const SockPtr& s, bool& progress) {
+  // The pump and a blocked read()/write() may both try to drain; the
+  // guard keeps exactly one drainer across suspension points.
+  if (s->ctrl_drain_busy) co_return;
+  s->ctrl_drain_busy = true;
+  struct Release {
+    bool* flag;
+    ~Release() { *flag = false; }
+  } release{&s->ctrl_drain_busy};
+  if (s->cfg.unexpected_queue_acks) {
+    // §6.4: control messages sit on the EMP unexpected queue; claim them
+    // from the library without ever posting descriptors for them.
+    std::vector<std::uint8_t> buf(64);
+    for (;;) {
+      auto r = co_await ep_.try_claim_unexpected(s->peer_node, s->my_ctrl,
+                                                 buf);
+      if (!r) break;
+      if (auto m = decode_ctrl(std::span(buf).first(r->bytes))) {
+        apply_ctrl(s, *m);
+      }
+      progress = true;
+    }
+    co_return;
+  }
+  // Pre-posted control descriptors: consume completed ones and repost.
+  bool any = true;
+  while (any && !s->ctrl_slots.empty()) {
+    any = false;
+    auto& slot = s->ctrl_slots.front();
+    if (ep_.test_recv(slot->handle)) {
+      auto result = co_await ep_.wait_recv(slot->handle);
+      if (auto m = decode_ctrl(
+              std::span<const std::uint8_t>(slot->buffer)
+                  .first(result.bytes))) {
+        apply_ctrl(s, *m);
+      }
+      slot->handle =
+          co_await ep_.post_recv(s->peer_node, s->my_ctrl, slot->buffer);
+      s->ctrl_slots.push_back(std::move(s->ctrl_slots.front()));
+      s->ctrl_slots.pop_front();
+      progress = true;
+      any = true;
+    }
+  }
+}
+
+bool EmpSocketStack::parse_arrived_data_headers(const SockPtr& s) {
+  bool progress = false;
+  for (auto& slot : s->data_slots) {
+    if (slot->parsed || !ep_.test_recv(slot->handle)) continue;
+    slot->msg_bytes = slot->handle->result.bytes;
+    slot->offset = 0;
+    slot->parsed = true;
+    progress = true;
+    if (slot->msg_bytes >= kDataHeaderBytes) {
+      DataHeader h = decode_data_header(slot->buffer.data());
+      if (h.piggyback_credits > 0) {
+        s->send_credits += h.piggyback_credits;  // §6.1 piggy-backed return
+      }
+    }
+  }
+  if (progress) activity_.notify_all();
+  return progress;
+}
+
+sim::Task<void> EmpSocketStack::pump(SockPtr s) {
+  while (!s->terminated) {
+    bool progress = parse_arrived_data_headers(s);
+    co_await drain_ctrl(s, progress);
+    if (s->local_closed && s->peer_closed) {
+      co_await cleanup(s);
+      break;
+    }
+    if (!progress) co_await activity_.wait();
+  }
+}
+
+sim::Task<void> EmpSocketStack::cleanup(const SockPtr& s) {
+  if (s->terminated && s->my_data == 0) co_return;
+  s->terminated = true;
+  // §5.3: EMP has no garbage collection — every descriptor must be used or
+  // explicitly unposted, or the NIC leaks resources.
+  for (auto& slot : s->data_slots) {
+    if (!ep_.test_recv(slot->handle)) {
+      bool ok = co_await ep_.unpost_recv(slot->handle);
+      (void)ok;
+    }
+  }
+  s->data_slots.clear();
+  for (auto& slot : s->ctrl_slots) {
+    if (!ep_.test_recv(slot->handle)) {
+      bool ok = co_await ep_.unpost_recv(slot->handle);
+      (void)ok;
+    }
+  }
+  s->ctrl_slots.clear();
+  // Drain messages that already reached the unexpected queue so they do
+  // not linger in the pool after the tags are retired.
+  if (s->cfg.unexpected_queue_acks && s->my_ctrl != 0) {
+    std::vector<std::uint8_t> buf(kDgEagerLimit);
+    for (;;) {
+      auto r = co_await ep_.try_claim_unexpected(s->peer_node, s->my_ctrl,
+                                                 buf);
+      if (!r) break;
+    }
+    for (;;) {
+      auto r = co_await ep_.try_claim_unexpected(s->peer_node, s->my_data,
+                                                 buf);
+      if (!r) break;
+    }
+  }
+  release_arena(std::move(s->arena));
+  release_arena(std::move(s->send_staging));
+  release_arena(std::move(s->dg_staging));
+  if (s->owns_tags && s->my_data != 0) {
+    free_tags(s->my_data);
+    free_tags(s->remote_base);
+    s->my_data = 0;
+  }
+  s->state = Sock::State::kClosed;
+  socks_.erase(s->sd);
+  activity_.notify_all();
+}
+
+sim::Task<void> EmpSocketStack::maybe_send_credit_ack(const SockPtr& s,
+                                                      bool force) {
+  std::uint32_t threshold = force ? 1 : s->cfg.ack_every();
+  if (s->consumed_unacked >= threshold && !s->peer_closed) {
+    CtrlMsg m;
+    m.type = CtrlType::kCreditAck;
+    m.a = s->consumed_unacked;
+    s->consumed_unacked = 0;
+    ++stats_.credit_acks_tx;
+    co_await send_ctrl(s, m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+bool EmpSocketStack::front_data_ready(const Sock& s) const {
+  return !s.data_slots.empty() && ep_.test_recv(s.data_slots.front()->handle);
+}
+
+sim::Task<void> EmpSocketStack::repost_slot(const SockPtr& s, Slot& slot) {
+  slot.parsed = false;
+  slot.offset = 0;
+  slot.msg_bytes = 0;
+  slot.handle = co_await ep_.post_recv(s->peer_node, s->my_data, slot.buffer);
+}
+
+sim::Task<std::size_t> EmpSocketStack::read(int sd,
+                                            std::span<std::uint8_t> out) {
+  auto s = sock(sd);
+  if (s->state != Sock::State::kConnected) {
+    throw SocketError(SockErr::kInvalid, "read on non-connected socket");
+  }
+  co_await comm_thread_penalty(s);
+  if (s->cfg.flow != FlowControl::kRendezvous && !s->cfg.data_streaming) {
+    co_return co_await dg_read(s, out);
+  }
+  for (;;) {
+    (void)parse_arrived_data_headers(s);
+    bool drain_progress = false;
+    co_await drain_ctrl(s, drain_progress);
+
+    bool rendezvous_mode = s->cfg.flow == FlowControl::kRendezvous;
+    if (!rendezvous_mode && front_data_ready(*s)) {
+      Slot& slot = *s->data_slots.front();
+      if (!slot.parsed) {
+        (void)parse_arrived_data_headers(s);
+      }
+      std::uint32_t payload =
+          slot.msg_bytes >= kDataHeaderBytes
+              ? slot.msg_bytes - static_cast<std::uint32_t>(kDataHeaderBytes)
+              : 0;
+      std::size_t n = std::min<std::size_t>(out.size(), payload - slot.offset);
+      if (n > 0) {
+        // The data-streaming copy (§6.2): temporary buffer -> user buffer.
+        co_await host_.copy(n);
+        std::memcpy(out.data(),
+                    slot.buffer.data() + kDataHeaderBytes + slot.offset, n);
+        slot.offset += static_cast<std::uint32_t>(n);
+      }
+      bool consumed = slot.offset >= payload;
+      if (!s->cfg.data_streaming && !consumed) {
+        // Datagram semantics: the unread tail of this message is lost.
+        ++stats_.truncated_datagrams;
+        consumed = true;
+      }
+      if (consumed) {
+        auto finished = std::move(s->data_slots.front());
+        s->data_slots.pop_front();
+        co_await repost_slot(s, *finished);
+        s->data_slots.push_back(std::move(finished));
+        ++s->consumed_unacked;
+        ++s->data_msgs_consumed;
+        co_await maybe_send_credit_ack(s, /*force=*/false);
+      }
+      co_return n;
+    }
+    if (!s->pending_rend.empty()) {
+      co_return co_await rendezvous_read(s, out);
+    }
+    if (s->peer_closed && s->data_msgs_consumed >= s->peer_msgs_total) {
+      co_return 0;  // orderly EOF: every sent message was consumed
+    }
+    if (s->local_closed) {
+      throw SocketError(SockErr::kInvalid, "read after close");
+    }
+    co_await activity_.wait();
+  }
+}
+
+sim::Task<std::size_t> EmpSocketStack::write(
+    int sd, std::span<const std::uint8_t> in) {
+  auto s = sock(sd);
+  if (s->state != Sock::State::kConnected || s->local_closed) {
+    throw SocketError(SockErr::kInvalid, "write on non-connected socket");
+  }
+  if (s->peer_closed) {
+    throw SocketError(SockErr::kClosed, "peer has closed the connection");
+  }
+  if (in.empty()) co_return 0;
+  co_await comm_thread_penalty(s);
+
+  if (s->cfg.flow == FlowControl::kRendezvous) {
+    co_return co_await rendezvous_write(s, in);
+  }
+  if (!s->cfg.data_streaming) {
+    // Datagram mode: small messages go eagerly (they can land on the
+    // unexpected queue if the reader is late); large ones rendezvous so
+    // the DMA goes straight to the user buffer (§6.2).
+    if (in.size() > kDgEagerLimit) {
+      co_return co_await rendezvous_write(s, in);
+    }
+    co_return co_await dg_eager_write(s, in);
+  }
+  co_return co_await eager_write(s, in);
+}
+
+sim::Task<void> EmpSocketStack::acquire_credit(const SockPtr& s) {
+  while (s->send_credits == 0) {
+    if (s->peer_closed) {
+      throw SocketError(SockErr::kClosed, "peer closed while awaiting credit");
+    }
+    bool progress = parse_arrived_data_headers(s);
+    co_await drain_ctrl(s, progress);
+    if (s->send_credits > 0) break;
+    if (!progress) co_await activity_.wait();
+  }
+  --s->send_credits;
+}
+
+sim::Task<std::size_t> EmpSocketStack::eager_write(
+    const SockPtr& s, std::span<const std::uint8_t> in) {
+  // One credit buys one message of up to the peer's temporary-buffer size.
+  co_await acquire_credit(s);
+
+  std::size_t n = std::min<std::size_t>(in.size(), s->peer_buffer_bytes);
+  const std::size_t slot_bytes = s->cfg.buffer_bytes + kDataHeaderBytes;
+  std::span<std::uint8_t> msg =
+      std::span(s->send_staging)
+          .subspan(s->staging_next * slot_bytes, kDataHeaderBytes + n);
+  s->staging_next = (s->staging_next + 1) % s->cfg.credits;
+  DataHeader h;
+  if (s->cfg.piggyback_acks && s->consumed_unacked > 0) {
+    h.piggyback_credits =
+        static_cast<std::uint16_t>(std::min<std::uint32_t>(
+            s->consumed_unacked, 0xffff));
+    stats_.credits_piggybacked += h.piggyback_credits;
+    s->consumed_unacked -= h.piggyback_credits;
+  }
+  encode_data_header(h, msg.data());
+  std::memcpy(msg.data() + kDataHeaderBytes, in.data(), n);
+  // Building the message in the (pre-registered) send staging area is a
+  // user-space copy.
+  co_await host_.copy(n);
+
+  ++stats_.eager_messages_tx;
+  ++s->data_msgs_sent;
+  // write() returns once the send is posted: the data already lives in a
+  // registered staging slot that stays untouched until the credit that
+  // paid for it comes back.
+  auto handle = co_await ep_.post_send(s->peer_node, s->peer_data, msg);
+  (void)handle;
+  co_return n;
+}
+
+sim::Task<std::size_t> EmpSocketStack::dg_eager_write(
+    const SockPtr& s, std::span<const std::uint8_t> in) {
+  // Datagram eager path: no header, no staging — EMP DMAs straight out of
+  // the user buffer (zero copy at the sender, §6.2).
+  co_await acquire_credit(s);
+  ++stats_.eager_messages_tx;
+  ++s->data_msgs_sent;
+  auto handle = co_await ep_.post_send(s->peer_node, s->peer_data, in);
+  co_await ep_.wait_send_local(handle);
+  co_return in.size();
+}
+
+sim::Task<std::size_t> EmpSocketStack::rendezvous_write(
+    const SockPtr& s, std::span<const std::uint8_t> in) {
+  std::uint32_t id = s->next_rend_id++;
+  CtrlMsg req;
+  req.type = CtrlType::kRendReq;
+  req.a = static_cast<std::uint32_t>(in.size());
+  req.b = id;
+  co_await send_ctrl(s, req);
+
+  // Block until the receiver posts the descriptor and grants (§5.2): the
+  // synchronization that both costs latency and risks deadlock (Figure 7).
+  for (;;) {
+    bool progress = false;
+    co_await drain_ctrl(s, progress);
+    if (s->rend_granted.count(id)) break;
+    if (s->peer_closed) {
+      throw SocketError(SockErr::kClosed, "peer closed during rendezvous");
+    }
+    if (!progress) co_await activity_.wait();
+  }
+  s->rend_granted.erase(id);
+
+  ++stats_.rendezvous_messages_tx;
+  ++s->data_msgs_sent;
+  // Zero copy: EMP DMAs straight out of the (pinned) user buffer.
+  auto handle = co_await ep_.post_send(s->peer_node, s->peer_rend, in);
+  co_await ep_.wait_send_local(handle);
+  co_return in.size();
+}
+
+sim::Task<std::size_t> EmpSocketStack::dg_read(const SockPtr& s,
+                                               std::span<std::uint8_t> out) {
+  // Datagram receive (§6.2): message-boundary semantics and no temporary-
+  // buffer copy on the fast path — when the read is pending before the
+  // message arrives, the descriptor points straight at the user buffer.
+  for (;;) {
+    bool progress = false;
+    co_await drain_ctrl(s, progress);
+
+    // Oldest first: a datagram already waiting on the unexpected queue.
+    auto claimed = co_await ep_.try_claim_unexpected(s->peer_node, s->my_data,
+                                                     s->dg_staging);
+    if (claimed) {
+      std::size_t n = std::min<std::size_t>(out.size(), claimed->bytes);
+      co_await host_.copy(n);
+      std::memcpy(out.data(), s->dg_staging.data(), n);
+      if (n < claimed->bytes) ++stats_.truncated_datagrams;
+      ++s->consumed_unacked;
+      ++s->data_msgs_consumed;
+      co_await maybe_send_credit_ack(s, /*force=*/false);
+      co_return n;
+    }
+    if (!s->pending_rend.empty()) {
+      co_return co_await rendezvous_read(s, out);
+    }
+    if (s->peer_closed && s->data_msgs_consumed >= s->peer_msgs_total) {
+      co_return 0;  // orderly EOF
+    }
+    if (s->local_closed) {
+      throw SocketError(SockErr::kInvalid, "read after close");
+    }
+
+    // Nothing waiting: post a descriptor for the next datagram.  If the
+    // user buffer can hold any eager datagram, DMA goes straight into it.
+    bool direct = out.size() >= kDgEagerLimit;
+    std::span<std::uint8_t> target =
+        direct ? out : std::span<std::uint8_t>(s->dg_staging);
+    auto h = co_await ep_.post_recv(s->peer_node, s->my_data, target);
+    bool matched = true;
+    while (!ep_.test_recv(h)) {
+      bool unpost_and_retry = false;
+      if (!s->pending_rend.empty()) unpost_and_retry = true;
+      if (s->peer_closed && s->data_msgs_consumed >= s->peer_msgs_total) {
+        unpost_and_retry = true;
+      }
+      if (unpost_and_retry) {
+        bool removed = co_await ep_.unpost_recv(h);
+        if (removed) {
+          matched = false;
+          break;  // re-run the outer loop (rendezvous or EOF)
+        }
+        continue;  // raced with a match; consume it
+      }
+      bool p2 = false;
+      co_await drain_ctrl(s, p2);
+      if (ep_.test_recv(h)) break;
+      if (!p2) co_await activity_.wait();
+    }
+    if (!matched) continue;
+    auto result = co_await ep_.wait_recv(h);
+    std::size_t n = std::min<std::size_t>(out.size(), result.bytes);
+    if (!direct) {
+      co_await host_.copy(n);
+      std::memcpy(out.data(), s->dg_staging.data(), n);
+    }
+    if (n < result.bytes) ++stats_.truncated_datagrams;
+    ++s->consumed_unacked;
+    ++s->data_msgs_consumed;
+    co_await maybe_send_credit_ack(s, /*force=*/false);
+    co_return n;
+  }
+}
+
+sim::Task<std::size_t> EmpSocketStack::rendezvous_read(
+    const SockPtr& s, std::span<std::uint8_t> out) {
+  CtrlMsg req = s->pending_rend.front();
+  s->pending_rend.pop_front();
+  std::uint32_t bytes = req.a;
+
+  CtrlMsg grant;
+  grant.type = CtrlType::kRendGrant;
+  grant.b = req.b;
+
+  if (out.size() >= bytes) {
+    // Zero copy: DMA directly into the user buffer.
+    auto handle =
+        co_await ep_.post_recv(s->peer_node, s->my_rend, out.first(bytes));
+    co_await send_ctrl(s, grant);
+    auto result = co_await ep_.wait_recv(handle);
+    ++s->data_msgs_consumed;
+    co_return result.bytes;
+  }
+  // User buffer too small: land in a temporary buffer and truncate
+  // (datagram semantics).
+  std::vector<std::uint8_t> tmp(bytes);
+  auto handle = co_await ep_.post_recv(s->peer_node, s->my_rend, tmp);
+  co_await send_ctrl(s, grant);
+  auto result = co_await ep_.wait_recv(handle);
+  std::size_t n = std::min<std::size_t>(out.size(), result.bytes);
+  co_await host_.copy(n);
+  std::memcpy(out.data(), tmp.data(), n);
+  ++stats_.truncated_datagrams;
+  ++s->data_msgs_consumed;
+  co_return n;
+}
+
+bool EmpSocketStack::readable(int sd) const {
+  const SockPtr* sp = find_sock(sd);
+  if (sp == nullptr) return false;
+  const Sock& s = **sp;
+  if (s.state == Sock::State::kListening) {
+    for (const auto& slot : s.conn_slots) {
+      if (ep_.test_recv(slot->handle)) return true;
+    }
+    return false;
+  }
+  if (s.state != Sock::State::kConnected) return false;
+  if (!s.cfg.data_streaming &&
+      ep_.has_unexpected_ready(s.peer_node, s.my_data)) {
+    return true;  // a datagram is waiting on the unexpected queue
+  }
+  return front_data_ready(s) || !s.pending_rend.empty() || s.peer_closed;
+}
+
+}  // namespace ulsocks::sockets

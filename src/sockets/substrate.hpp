@@ -1,0 +1,206 @@
+// The EMP substrate: user-level sockets over EMP (the paper's contribution).
+//
+// Implements os::SocketApi entirely in user space on top of emp::EmpEndpoint:
+//   - connection management by data message exchange (§5.1): listen() posts
+//     `backlog` wildcard-source descriptors on a per-port tag; connect()
+//     sends an explicit request carrying the client's address and channel
+//     parameters; accept() completes the head-of-backlog descriptor and
+//     replies;
+//   - unexpected arrivals by eager-with-flow-control or rendezvous (§5.2),
+//     with credit-based flow control (§6.1): N credits backed by 2N
+//     pre-posted descriptors with temporary buffers;
+//   - data streaming (extra copy through the temporary buffer) or datagram
+//     mode (§6.2), where large writes switch to zero-copy rendezvous;
+//   - delayed acknowledgments (§6.3), piggy-backed credit returns (§6.1),
+//     and acknowledgments on the EMP unexpected queue (§6.4);
+//   - resource management (§5.3): an active-socket table; close() sends an
+//     explicit close message and unposts every descriptor (EMP has no
+//     garbage collection), returning tags to a free list.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "emp/endpoint.hpp"
+#include "oskernel/host.hpp"
+#include "oskernel/socket_api.hpp"
+#include "sockets/config.hpp"
+#include "sockets/control.hpp"
+
+namespace ulsocks::sockets {
+
+struct SubstrateStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_initiated = 0;
+  std::uint64_t eager_messages_tx = 0;
+  std::uint64_t rendezvous_messages_tx = 0;
+  std::uint64_t credit_acks_tx = 0;
+  std::uint64_t credits_piggybacked = 0;
+  std::uint64_t truncated_datagrams = 0;
+  std::uint64_t closes_tx = 0;
+};
+
+class EmpSocketStack final : public os::SocketApi {
+ public:
+  EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
+                 os::Host& host, emp::EmpEndpoint& ep,
+                 SubstrateConfig default_config = {});
+
+  // SocketApi.
+  sim::Task<int> socket() override;
+  sim::Task<void> bind(int sd, os::SockAddr local) override;
+  sim::Task<void> listen(int sd, int backlog) override;
+  sim::Task<int> accept(int sd, os::SockAddr* peer) override;
+  sim::Task<void> connect(int sd, os::SockAddr remote) override;
+  sim::Task<std::size_t> read(int sd, std::span<std::uint8_t> out) override;
+  sim::Task<std::size_t> write(int sd,
+                               std::span<const std::uint8_t> in) override;
+  sim::Task<void> close(int sd) override;
+  sim::Task<void> set_option(int sd, os::SockOpt opt, int value) override;
+  [[nodiscard]] bool readable(int sd) const override;
+  [[nodiscard]] sim::CondVar& activity() override { return activity_; }
+
+  [[nodiscard]] const SubstrateStats& stats() const noexcept { return stats_; }
+  /// Active-socket-table size (§5.3); sockets leave the table only when
+  /// both sides have closed and every descriptor has been reclaimed.
+  [[nodiscard]] std::size_t active_socket_count() const {
+    return socks_.size();
+  }
+  [[nodiscard]] emp::EmpEndpoint& endpoint() noexcept { return ep_; }
+
+ private:
+  /// One pre-posted receive descriptor plus its temporary buffer (a view
+  /// into the connection's arena: the arena is pinned once, so reposting a
+  /// slot hits the translation cache instead of re-pinning).
+  struct Slot {
+    std::span<std::uint8_t> buffer;
+    emp::RecvHandle handle;
+    std::uint32_t msg_bytes = 0;   // valid once parsed
+    std::uint32_t offset = 0;      // payload bytes already consumed
+    bool parsed = false;           // header seen (credits applied)
+  };
+
+  struct Sock {
+    enum class State : std::uint8_t {
+      kFresh,
+      kBound,
+      kListening,
+      kConnecting,
+      kConnected,
+      kClosed,
+    };
+    State state = State::kFresh;
+    SubstrateConfig cfg;
+    os::SockAddr local{};
+    os::SockAddr remote{};
+
+    // Listener state.
+    int backlog = 0;
+    std::deque<std::unique_ptr<Slot>> conn_slots;
+
+    // Connection state.
+    std::vector<std::uint8_t> arena;  // backing store for every slot buffer
+    std::vector<std::uint8_t> send_staging;  // ring of per-credit slots
+    std::uint32_t staging_next = 0;          // next ring slot to use
+    std::vector<std::uint8_t> dg_staging;    // datagram claim/truncate path
+    emp::NodeId peer_node = 0;
+    emp::Tag my_data = 0, my_ctrl = 0, my_rend = 0;
+    emp::Tag peer_data = 0, peer_ctrl = 0, peer_rend = 0;
+    std::uint32_t peer_buffer_bytes = 0;
+    std::uint32_t send_credits = 0;
+    std::uint32_t consumed_unacked = 0;
+    std::uint32_t next_rend_id = 1;
+    std::deque<std::unique_ptr<Slot>> data_slots;  // FIFO arrival order
+    std::deque<std::unique_ptr<Slot>> ctrl_slots;  // empty in UQ mode
+    std::deque<CtrlMsg> pending_rend;              // rendezvous requests
+    std::unordered_map<std::uint32_t, bool> rend_granted;
+    std::uint64_t data_msgs_sent = 0;      // eager + rendezvous messages
+    std::uint64_t data_msgs_consumed = 0;  // fully read (or truncated)
+    std::uint64_t peer_msgs_total = 0;     // carried by the Close message
+    bool ctrl_drain_busy = false;  // re-entrancy guard across co_awaits
+    bool owns_tags = false;  // this side allocated the connection's tags
+    emp::Tag remote_base = 0;  // the peer-side triple we allocated (if any)
+    bool established = false;
+    bool refused = false;
+    bool peer_closed = false;
+    bool local_closed = false;
+    bool terminated = false;  // pump exited, resources reclaimed
+    int sd = -1;
+  };
+  using SockPtr = std::shared_ptr<Sock>;
+
+  SockPtr& sock(int sd);
+  [[nodiscard]] const SockPtr* find_sock(int sd) const;
+
+  [[nodiscard]] static emp::Tag listen_tag(std::uint16_t port) {
+    return static_cast<emp::Tag>(0x8000u | port);
+  }
+  /// Tag triples (base = data, base+1 = ctrl, base+2 = rendezvous).  Local
+  /// triples name this stack's receive channels for connections it
+  /// initiates; remote triples are handed to the accepting side.  The two
+  /// ranges are disjoint so a server's own outbound allocations can never
+  /// collide with tags a client assigned to it.
+  enum class TagRole : std::uint8_t { kLocal, kRemote };
+  emp::Tag alloc_tags(TagRole role);
+  void free_tags(emp::Tag base);
+
+  /// Charge the communication-thread synchronization penalty when the
+  /// kCommThread alternative is selected (ablation).
+  [[nodiscard]] sim::Task<void> comm_thread_penalty(const SockPtr& s);
+
+  // Connection plumbing.
+  [[nodiscard]] sim::Task<void> post_connection_resources(const SockPtr& s);
+  [[nodiscard]] sim::Task<void> send_ctrl(const SockPtr& s, CtrlMsg m);
+  [[nodiscard]] sim::Task<void> drain_ctrl(const SockPtr& s, bool& progress);
+  [[nodiscard]] sim::Task<void> pump(SockPtr s);
+  void apply_ctrl(const SockPtr& s, const CtrlMsg& m);
+  bool parse_arrived_data_headers(const SockPtr& s);
+  [[nodiscard]] sim::Task<void> cleanup(const SockPtr& s);
+  [[nodiscard]] sim::Task<void> maybe_send_credit_ack(const SockPtr& s,
+                                                      bool force);
+  [[nodiscard]] sim::Task<std::size_t> eager_write(
+      const SockPtr& s, std::span<const std::uint8_t> in);
+  [[nodiscard]] sim::Task<std::size_t> dg_eager_write(
+      const SockPtr& s, std::span<const std::uint8_t> in);
+  [[nodiscard]] sim::Task<std::size_t> dg_read(const SockPtr& s,
+                                               std::span<std::uint8_t> out);
+  [[nodiscard]] sim::Task<void> acquire_credit(const SockPtr& s);
+  [[nodiscard]] sim::Task<std::size_t> rendezvous_write(
+      const SockPtr& s, std::span<const std::uint8_t> in);
+  [[nodiscard]] sim::Task<std::size_t> rendezvous_read(
+      const SockPtr& s, std::span<std::uint8_t> out);
+  [[nodiscard]] sim::Task<void> repost_slot(const SockPtr& s, Slot& slot);
+
+  [[nodiscard]] bool front_data_ready(const Sock& s) const;
+
+  sim::Engine& eng_;
+  sim::CostModel model_;
+  os::Host& host_;
+  emp::EmpEndpoint& ep_;
+  SubstrateConfig default_cfg_;
+  sim::CondVar activity_;
+  SubstrateStats stats_;
+
+  int next_sd_ = 1;
+  std::uint16_t next_ephemeral_ = 40'000;
+  std::map<int, SockPtr> socks_;  // the active socket table (§5.3)
+  std::deque<emp::Tag> free_local_bases_;
+  std::deque<emp::Tag> free_remote_bases_;
+  emp::Tag next_local_base_ = 16;       // [16, 0x4000)
+  emp::Tag next_remote_base_ = 0x4000;  // [0x4000, 0x8000)
+
+  // Registered-buffer pool: arenas are recycled across connections so that
+  // only the first connection of a given geometry pays the pin syscall —
+  // later posts hit the EMP translation cache.  Without this, per-
+  // connection registration would dominate the web-server experiment.
+  [[nodiscard]] std::vector<std::uint8_t> get_arena(std::size_t bytes);
+  void release_arena(std::vector<std::uint8_t> arena);
+  std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> arena_pool_;
+};
+
+}  // namespace ulsocks::sockets

@@ -1,0 +1,80 @@
+#include "tcp/segment.hpp"
+
+namespace ulsocks::tcp {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put16(out, static_cast<std::uint16_t>(v));
+  put16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put32(out, static_cast<std::uint32_t>(v));
+  put32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(
+      in[at] | (static_cast<std::uint16_t>(in[at + 1]) << 8));
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint32_t>(get16(in, at)) |
+         (static_cast<std::uint32_t>(get16(in, at + 2)) << 16);
+}
+
+std::uint64_t get64(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint64_t>(get32(in, at)) |
+         (static_cast<std::uint64_t>(get32(in, at + 4)) << 32);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_segment(const Segment& s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kSegmentHeaderBytes + s.payload.size());
+  put16(out, s.src_node);
+  put16(out, s.dst_node);
+  put16(out, s.src_port);
+  put16(out, s.dst_port);
+  put64(out, s.seq);
+  put64(out, s.ack);
+  put32(out, s.window);
+  std::uint8_t flags = 0;
+  if (s.flags.syn) flags |= 1;
+  if (s.flags.ack) flags |= 2;
+  if (s.flags.fin) flags |= 4;
+  if (s.flags.rst) flags |= 8;
+  out.push_back(flags);
+  // Pad to the nominal IP+TCP header size so wire timing is honest.
+  while (out.size() < kSegmentHeaderBytes) out.push_back(0);
+  out.insert(out.end(), s.payload.begin(), s.payload.end());
+  return out;
+}
+
+std::optional<Segment> decode_segment(std::span<const std::uint8_t> p) {
+  if (p.size() < kSegmentHeaderBytes) return std::nullopt;
+  Segment s;
+  s.src_node = get16(p, 0);
+  s.dst_node = get16(p, 2);
+  s.src_port = get16(p, 4);
+  s.dst_port = get16(p, 6);
+  s.seq = get64(p, 8);
+  s.ack = get64(p, 16);
+  s.window = get32(p, 24);
+  std::uint8_t flags = p[28];
+  s.flags.syn = flags & 1;
+  s.flags.ack = flags & 2;
+  s.flags.fin = flags & 4;
+  s.flags.rst = flags & 8;
+  s.payload.assign(p.begin() + kSegmentHeaderBytes, p.end());
+  return s;
+}
+
+}  // namespace ulsocks::tcp

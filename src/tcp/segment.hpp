@@ -1,0 +1,46 @@
+// TCP-lite segment wire format, carried in EtherType::kIpv4 frames.
+//
+// The simulated kernel stack needs real sequence/ack/window semantics (the
+// paper's TCP baseline numbers are produced by exactly those mechanisms),
+// but not the full RFC 793 option machinery.  Sequence numbers are 64-bit
+// internally to sidestep wrap handling; the simplification is harmless for
+// simulation-scale transfers and documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace ulsocks::tcp {
+
+struct Flags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+struct Segment {
+  std::uint16_t src_node = 0;
+  std::uint16_t dst_node = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint32_t window = 0;  // receive window advertisement, bytes
+  Flags flags;
+  std::vector<std::uint8_t> payload;
+};
+
+inline constexpr std::size_t kSegmentHeaderBytes = 40;  // ~IP(20)+TCP(20)
+
+/// Standard Ethernet MSS for a 1500-byte MTU.
+inline constexpr std::uint32_t kMss = 1460;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_segment(const Segment& s);
+[[nodiscard]] std::optional<Segment> decode_segment(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace ulsocks::tcp

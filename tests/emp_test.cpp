@@ -1,0 +1,505 @@
+// Unit and property tests for the EMP protocol: wire format, tag matching,
+// reliability under frame loss, the unexpected queue, and resource
+// accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "emp/endpoint.hpp"
+#include "emp/wire.hpp"
+#include "net/topology.hpp"
+#include "nic/nic_device.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace ulsocks::emp {
+namespace {
+
+using sim::Engine;
+using sim::Task;
+
+TEST(Wire, HeaderRoundTripData) {
+  EmpHeader h;
+  h.kind = FrameKind::kData;
+  h.src_node = 3;
+  h.dst_node = 1;
+  h.tag = 0xbeef;
+  h.msg_id = 123456;
+  h.frame_index = 7;
+  h.total_frames = 44;
+  h.msg_bytes = 65000;
+  std::vector<std::uint8_t> frag(100);
+  std::iota(frag.begin(), frag.end(), 0);
+
+  auto bytes = encode_frame(h, frag);
+  EXPECT_EQ(bytes.size(), kHeaderBytes + frag.size());
+  auto decoded = decode_frame(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header, h);
+  EXPECT_TRUE(std::equal(frag.begin(), frag.end(),
+                         decoded->fragment.begin()));
+}
+
+TEST(Wire, HeaderRoundTripAck) {
+  EmpHeader h;
+  h.kind = FrameKind::kAck;
+  h.src_node = 2;
+  h.dst_node = 0;
+  h.msg_id = 99;
+  h.ack_value = 12;
+  auto bytes = encode_frame(h, {});
+  auto decoded = decode_frame(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->header.kind, FrameKind::kAck);
+  EXPECT_EQ(decoded->header.ack_value, 12u);
+  EXPECT_TRUE(decoded->fragment.empty());
+}
+
+TEST(Wire, RejectsMalformed) {
+  EXPECT_FALSE(decode_frame(std::vector<std::uint8_t>(5)).has_value());
+  std::vector<std::uint8_t> junk(kHeaderBytes, 0xff);
+  EXPECT_FALSE(decode_frame(junk).has_value());  // kind 0xff invalid
+}
+
+TEST(Wire, FragmentationMath) {
+  EXPECT_EQ(max_fragment_bytes(1500), 1480u);
+  EXPECT_EQ(frames_for(0, 1500), 1u);
+  EXPECT_EQ(frames_for(1, 1500), 1u);
+  EXPECT_EQ(frames_for(1480, 1500), 1u);
+  EXPECT_EQ(frames_for(1481, 1500), 2u);
+  EXPECT_EQ(frames_for(65536, 1500), 45u);
+}
+
+// Fixture: two hosts on a star network with EMP endpoints.
+class EmpPair : public ::testing::Test {
+ protected:
+  EmpPair() : model_(sim::calibrated_cost_model()), net_(eng_, model_.wire, 2) {
+    for (int i = 0; i < 2; ++i) {
+      cpu_[i] = std::make_unique<sim::SerialResource>(
+          eng_, "host" + std::to_string(i));
+      nic_[i] = std::make_unique<nic::NicDevice>(
+          eng_, model_, net_.host_link(static_cast<std::size_t>(i)),
+          net::StarNetwork::kHostSide,
+          net::MacAddress::for_host(static_cast<std::uint32_t>(i)));
+      ep_[i] = std::make_unique<EmpEndpoint>(
+          eng_, model_, *nic_[i], *cpu_[i], static_cast<NodeId>(i),
+          [](NodeId n) {
+            return net::MacAddress::for_host(static_cast<std::uint32_t>(n));
+          },
+          config_);
+    }
+  }
+
+  static std::vector<std::uint8_t> pattern(std::size_t n,
+                                           std::uint8_t seed = 1) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::uint8_t>(seed + i * 7);
+    }
+    return v;
+  }
+
+  EmpConfig config_{};
+  Engine eng_;
+  sim::CostModel model_;
+  net::StarNetwork net_;
+  std::unique_ptr<sim::SerialResource> cpu_[2];
+  std::unique_ptr<nic::NicDevice> nic_[2];
+  std::unique_ptr<EmpEndpoint> ep_[2];
+};
+
+TEST_F(EmpPair, SmallMessageDelivered) {
+  auto data = pattern(4);
+  std::vector<std::uint8_t> rxbuf(64, 0);
+  RecvResult result{};
+
+  auto receiver = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 10, rxbuf);
+    result = co_await ep_[1]->wait_recv(h);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(1000);  // let the receiver pre-post
+    auto h = co_await ep_[0]->post_send(1, 10, data);
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+
+  EXPECT_EQ(result.src, 0);
+  EXPECT_EQ(result.tag, 10);
+  EXPECT_EQ(result.bytes, 4u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), rxbuf.begin()));
+  EXPECT_EQ(ep_[1]->posted_descriptor_count(), 0u);
+  EXPECT_EQ(ep_[0]->pending_send_count(), 0u);
+}
+
+TEST_F(EmpPair, MultiFrameMessageReassembled) {
+  auto data = pattern(10'000, 3);
+  std::vector<std::uint8_t> rxbuf(10'000, 0);
+
+  auto receiver = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 5, rxbuf);
+    auto r = co_await ep_[1]->wait_recv(h);
+    EXPECT_EQ(r.bytes, 10'000u);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    auto h = co_await ep_[0]->post_send(1, 5, data);
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+  EXPECT_EQ(rxbuf, data);
+  // 10000 bytes / 1480 per frame = 7 frames.
+  EXPECT_EQ(ep_[0]->stats().data_frames_tx, 7u);
+}
+
+TEST_F(EmpPair, ZeroByteMessage) {
+  std::vector<std::uint8_t> rxbuf(8, 0xcc);
+  auto receiver = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 1, rxbuf);
+    auto r = co_await ep_[1]->wait_recv(h);
+    EXPECT_EQ(r.bytes, 0u);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    auto h = co_await ep_[0]->post_send(1, 1, {});
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+  EXPECT_EQ(rxbuf[0], 0xcc);  // untouched
+}
+
+TEST_F(EmpPair, TagMatchingSelectsCorrectDescriptor) {
+  std::vector<std::uint8_t> buf_a(64), buf_b(64);
+  auto msg_a = pattern(16, 11);
+  auto msg_b = pattern(16, 77);
+
+  auto receiver = [&]() -> Task<void> {
+    auto ha = co_await ep_[1]->post_recv(NodeId{0}, 100, buf_a);
+    auto hb = co_await ep_[1]->post_recv(NodeId{0}, 200, buf_b);
+    auto rb = co_await ep_[1]->wait_recv(hb);
+    auto ra = co_await ep_[1]->wait_recv(ha);
+    EXPECT_EQ(ra.tag, 100);
+    EXPECT_EQ(rb.tag, 200);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    // Send tag 200 first: it must land in buf_b even though buf_a was
+    // posted first.
+    auto h1 = co_await ep_[0]->post_send(1, 200, msg_b);
+    auto h2 = co_await ep_[0]->post_send(1, 100, msg_a);
+    co_await ep_[0]->wait_send_acked(h1);
+    co_await ep_[0]->wait_send_acked(h2);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+  EXPECT_TRUE(std::equal(msg_a.begin(), msg_a.end(), buf_a.begin()));
+  EXPECT_TRUE(std::equal(msg_b.begin(), msg_b.end(), buf_b.begin()));
+}
+
+TEST_F(EmpPair, WildcardSourceMatchesAnySender) {
+  std::vector<std::uint8_t> buf(32);
+  auto receiver = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(std::nullopt, 9, buf);
+    auto r = co_await ep_[1]->wait_recv(h);
+    EXPECT_EQ(r.src, 0);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    auto h = co_await ep_[0]->post_send(1, 9, pattern(8));
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+}
+
+TEST_F(EmpPair, UnmatchedMessageIsDroppedThenRetransmitted) {
+  // No descriptor is posted until well after the first transmission; the
+  // receiver must get the data via sender retransmission.
+  auto data = pattern(100, 9);
+  std::vector<std::uint8_t> buf(128);
+  bool received = false;
+
+  auto sender = [&]() -> Task<void> {
+    auto h = co_await ep_[0]->post_send(1, 42, data);
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  auto receiver = [&]() -> Task<void> {
+    // Wait past one retransmit timeout before posting.
+    co_await eng_.delay(config_.retransmit_timeout + 500'000);
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 42, buf);
+    auto r = co_await ep_[1]->wait_recv(h);
+    EXPECT_EQ(r.bytes, 100u);
+    received = true;
+  };
+  eng_.spawn(sender());
+  eng_.spawn(receiver());
+  eng_.run();
+
+  EXPECT_TRUE(received);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), buf.begin()));
+  EXPECT_GE(ep_[1]->stats().unmatched_drops, 1u);
+  EXPECT_GE(ep_[0]->stats().retransmitted_frames, 1u);
+}
+
+TEST_F(EmpPair, SendFailsAfterMaxRetries) {
+  config_ = EmpConfig{};
+  config_.max_retries = 3;
+  config_.retransmit_timeout = 100'000;
+  // Rebuild endpoint 0 with the tighter config.
+  ep_[0] = std::make_unique<EmpEndpoint>(
+      eng_, model_, *nic_[0], *cpu_[0], NodeId{0},
+      [](NodeId n) {
+        return net::MacAddress::for_host(static_cast<std::uint32_t>(n));
+      },
+      config_);
+
+  bool failed = false;
+  auto sender = [&]() -> Task<void> {
+    auto h = co_await ep_[0]->post_send(1, 7, pattern(10));
+    try {
+      co_await ep_[0]->wait_send_acked(h);
+    } catch (const EmpError&) {
+      failed = true;
+    }
+  };
+  eng_.spawn(sender());
+  eng_.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(ep_[0]->pending_send_count(), 0u);
+}
+
+class EmpLossTest : public EmpPair,
+                    public ::testing::WithParamInterface<double> {};
+
+// Property: EMP delivers every message intact, in posted-descriptor order,
+// under any frame-loss rate the link throws at it.
+TEST_P(EmpLossTest, ReliableUnderLoss) {
+  const double loss = GetParam();
+  net_.host_link(0).set_drop_policy(
+      net::StarNetwork::kHostSide,
+      net::random_drop_policy(eng_.rng(), loss));
+  net_.host_link(1).set_drop_policy(
+      net::StarNetwork::kHostSide,
+      net::random_drop_policy(eng_.rng(), loss));
+
+  constexpr int kMessages = 12;
+  constexpr std::size_t kBytes = 5'000;
+  std::vector<std::vector<std::uint8_t>> rx(kMessages);
+  int completed = 0;
+
+  auto receiver = [&]() -> Task<void> {
+    std::vector<RecvHandle> handles;
+    for (int i = 0; i < kMessages; ++i) {
+      rx[static_cast<std::size_t>(i)].resize(kBytes);
+      handles.push_back(co_await ep_[1]->post_recv(
+          NodeId{0}, static_cast<Tag>(i), rx[static_cast<std::size_t>(i)]));
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      auto r = co_await ep_[1]->wait_recv(handles[static_cast<std::size_t>(i)]);
+      EXPECT_EQ(r.bytes, kBytes);
+      ++completed;
+    }
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(10'000);
+    for (int i = 0; i < kMessages; ++i) {
+      auto h = co_await ep_[0]->post_send(1, static_cast<Tag>(i),
+                                          pattern(kBytes,
+                                                  static_cast<std::uint8_t>(i)));
+      co_await ep_[0]->wait_send_acked(h);
+    }
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+
+  EXPECT_EQ(completed, kMessages);
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(rx[static_cast<std::size_t>(i)],
+              pattern(kBytes, static_cast<std::uint8_t>(i)))
+        << "message " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, EmpLossTest,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2));
+
+TEST_F(EmpPair, UnexpectedQueueCatchesEarlyMessage) {
+  auto data = pattern(200, 5);
+  std::vector<std::uint8_t> buf(256);
+
+  auto setup = [&]() -> Task<void> {
+    co_await ep_[1]->post_unexpected(4, 1024);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(50'000);
+    auto h = co_await ep_[0]->post_send(1, 3, data);
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  auto receiver = [&]() -> Task<void> {
+    // Post the receive long after the message arrived.
+    co_await eng_.delay(500'000);
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 3, buf);
+    auto r = co_await ep_[1]->wait_recv(h);
+    EXPECT_EQ(r.bytes, 200u);
+  };
+  eng_.spawn(setup());
+  eng_.spawn(sender());
+  eng_.spawn(receiver());
+  eng_.run();
+
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), buf.begin()));
+  EXPECT_GE(ep_[1]->stats().unexpected_claims, 1u);
+  EXPECT_EQ(ep_[1]->stats().unmatched_drops, 0u);
+  // No retransmissions needed: the unexpected queue absorbed the message.
+  EXPECT_EQ(ep_[0]->stats().retransmitted_frames, 0u);
+  // The entry returned to the pool after delivery.
+  EXPECT_EQ(ep_[1]->unexpected_free_count(), 4u);
+}
+
+TEST_F(EmpPair, UnexpectedReconciledWithDescriptorPostedWhileInFlight) {
+  // The descriptor is filed between the message's first frame and its
+  // completion; the ready-reconciliation path must still deliver it.
+  auto data = pattern(8'000, 21);
+  std::vector<std::uint8_t> buf(8'192);
+  bool got = false;
+
+  auto setup = [&]() -> Task<void> {
+    co_await ep_[1]->post_unexpected(2, 16'384);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(50'000);
+    auto h = co_await ep_[0]->post_send(1, 6, data);
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  auto receiver = [&]() -> Task<void> {
+    // 8 KB takes ~6 frames; post mid-flight (~30 us after first frame).
+    co_await eng_.delay(80'000);
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 6, buf);
+    auto r = co_await ep_[1]->wait_recv(h);
+    EXPECT_EQ(r.bytes, 8'000u);
+    got = true;
+  };
+  eng_.spawn(setup());
+  eng_.spawn(sender());
+  eng_.spawn(receiver());
+  eng_.run();
+  EXPECT_TRUE(got);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), buf.begin()));
+}
+
+TEST_F(EmpPair, UnpostRemovesDescriptor) {
+  std::vector<std::uint8_t> buf(64);
+  auto proc = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 5, buf);
+    co_await eng_.delay(100'000);
+    EXPECT_EQ(ep_[1]->posted_descriptor_count(), 1u);
+    bool removed = co_await ep_[1]->unpost_recv(h);
+    EXPECT_TRUE(removed);
+    co_await eng_.delay(100'000);
+    EXPECT_EQ(ep_[1]->posted_descriptor_count(), 0u);
+  };
+  eng_.spawn(proc());
+  eng_.run();
+}
+
+TEST_F(EmpPair, UnpostFailsOnMatchedDescriptor) {
+  std::vector<std::uint8_t> buf(64);
+  auto receiver = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 5, buf);
+    co_await eng_.delay(300'000);  // message arrives meanwhile
+    bool removed = co_await ep_[1]->unpost_recv(h);
+    EXPECT_FALSE(removed);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(10'000);
+    auto h = co_await ep_[0]->post_send(1, 5, pattern(16));
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+}
+
+TEST_F(EmpPair, TranslationCacheAvoidsRepinning) {
+  std::vector<std::uint8_t> buf(64);
+  auto proc = [&]() -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      auto h = co_await ep_[1]->post_recv(NodeId{0}, static_cast<Tag>(i), buf);
+      bool ok = co_await ep_[1]->unpost_recv(h);
+      EXPECT_TRUE(ok);
+    }
+  };
+  eng_.spawn(proc());
+  eng_.run();
+  EXPECT_EQ(ep_[1]->stats().pin_misses, 1u);
+  EXPECT_EQ(ep_[1]->stats().pin_hits, 9u);
+}
+
+TEST_F(EmpPair, AcksFollowWindow) {
+  // 10 frames with ack window 4 -> acks at 4, 8, 10 = 3 acks.
+  auto data = pattern(1480 * 10);
+  std::vector<std::uint8_t> buf(1480 * 10);
+  auto receiver = [&]() -> Task<void> {
+    auto h = co_await ep_[1]->post_recv(NodeId{0}, 2, buf);
+    co_await ep_[1]->wait_recv(h);
+  };
+  auto sender = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    auto h = co_await ep_[0]->post_send(1, 2, data);
+    co_await ep_[0]->wait_send_acked(h);
+  };
+  eng_.spawn(receiver());
+  eng_.spawn(sender());
+  eng_.run();
+  EXPECT_EQ(ep_[1]->stats().acks_tx, 3u);
+  EXPECT_EQ(ep_[0]->stats().acks_rx, 3u);
+}
+
+TEST_F(EmpPair, LatencyIsCloseToPaperEmpBaseline) {
+  // Calibration check: one-way 4-byte latency (half of ping-pong RTT)
+  // should sit near the paper's 28 us for raw EMP.
+  constexpr int kIters = 30;
+  std::vector<std::uint8_t> ping(4), pong(4), b0(4), b1(4);
+  sim::Time total_rtt_start = 0;
+  double one_way_us = 0;
+
+  auto server = [&]() -> Task<void> {
+    for (int i = 0; i < kIters; ++i) {
+      auto h = co_await ep_[1]->post_recv(NodeId{0}, 1, b1);
+      co_await ep_[1]->wait_recv(h);
+      auto s = co_await ep_[1]->post_send(0, 2, pong);
+      co_await ep_[1]->wait_send_local(s);
+    }
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(100'000);
+    total_rtt_start = eng_.now();
+    for (int i = 0; i < kIters; ++i) {
+      auto h = co_await ep_[0]->post_recv(NodeId{1}, 2, b0);
+      auto s = co_await ep_[0]->post_send(1, 1, ping);
+      co_await ep_[0]->wait_recv(h);
+    }
+    one_way_us =
+        sim::to_us(eng_.now() - total_rtt_start) / (2.0 * kIters);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+
+  EXPECT_GT(one_way_us, 20.0);
+  EXPECT_LT(one_way_us, 36.0);
+}
+
+}  // namespace
+}  // namespace ulsocks::emp

@@ -1,0 +1,186 @@
+// Property: protocol CORRECTNESS is independent of the cost model.
+//
+// cost_model.hpp promises that changing a constant changes timing only.
+// These tests re-run the full substrate data path under deliberately
+// distorted machine models — a NIC 20x slower than the wire, a host with
+// glacial memcpy, free syscalls — and assert byte-exact delivery, orderly
+// teardown and zero resource leaks every time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+
+namespace ulsocks {
+namespace {
+
+using apps::Cluster;
+using os::SockAddr;
+using sim::Engine;
+using sim::Task;
+
+sim::CostModel slow_nic_model() {
+  auto m = sim::calibrated_cost_model();
+  m.nic.fw_tx_frame_ns = 150'000;
+  m.nic.fw_rx_frame_ns = 250'000;  // rx 20x slower than the wire
+  m.nic.fw_tx_frame_per_byte_ns = 0;
+  m.nic.fw_rx_frame_per_byte_ns = 0;
+  m.nic.tag_match_per_desc_ns = 20'000;
+  return m;
+}
+
+sim::CostModel slow_host_model() {
+  auto m = sim::calibrated_cost_model();
+  m.host.memcpy_bytes_per_us = 2.0;  // 2 MB/s memcpy
+  m.host.syscall_ns = 300'000;
+  m.host.pin_region_ns = 2'000'000;
+  return m;
+}
+
+sim::CostModel free_everything_model() {
+  auto m = sim::calibrated_cost_model();
+  m.host = sim::HostCosts{};
+  m.host.syscall_ns = 0;
+  m.host.memcpy_setup_ns = 0;
+  m.host.memcpy_bytes_per_us = 1e9;
+  m.nic.fw_tx_frame_ns = 1;
+  m.nic.fw_rx_frame_ns = 1;
+  m.nic.fw_tx_frame_per_byte_ns = 0;
+  m.nic.fw_rx_frame_per_byte_ns = 0;
+  m.nic.mailbox_post_ns = 1;
+  m.nic.fw_tx_post_ns = 1;
+  m.nic.fw_rx_post_ns = 1;
+  m.nic.tag_match_per_desc_ns = 1;
+  return m;
+}
+
+sim::CostModel slow_wire_model() {
+  auto m = sim::calibrated_cost_model();
+  m.wire.link_bps = 10'000'000;  // 10 Mb/s Ethernet
+  m.wire.switch_latency_ns = 400'000;
+  return m;
+}
+
+struct Distortion {
+  const char* name;
+  sim::CostModel model;
+};
+
+class ModelInvariance : public ::testing::TestWithParam<int> {};
+
+sim::CostModel model_for(int which) {
+  switch (which) {
+    case 0:
+      return slow_nic_model();
+    case 1:
+      return slow_host_model();
+    case 2:
+      return free_everything_model();
+    default:
+      return slow_wire_model();
+  }
+}
+
+TEST_P(ModelInvariance, SubstrateTransferStaysCorrect) {
+  auto model = model_for(GetParam());
+  Engine eng;
+  Cluster cl(eng, model, 2);
+
+  std::vector<std::uint8_t> data(40'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  std::vector<std::uint8_t> received;
+  bool eof = false;
+
+  auto server = [&]() -> Task<void> {
+    auto& api = cl.node(1).socks;
+    int ls = co_await api.socket();
+    co_await api.bind(ls, SockAddr{1, 80});
+    co_await api.listen(ls, 1);
+    int cs = co_await api.accept(ls, nullptr);
+    std::vector<std::uint8_t> buf(7'001);
+    for (;;) {
+      std::size_t n = co_await api.read(cs, buf);
+      if (n == 0) break;
+      received.insert(received.end(), buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    eof = true;
+    co_await api.close(cs);
+    co_await api.close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    auto& api = cl.node(0).socks;
+    co_await eng.delay(1000);
+    int s = co_await api.socket();
+    co_await api.connect(s, SockAddr{1, 80});
+    co_await api.write_all(s, data);
+    co_await api.close(s);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+
+  EXPECT_TRUE(eof);
+  EXPECT_EQ(received, data);
+  EXPECT_EQ(cl.node(0).socks.active_socket_count(), 0u);
+  EXPECT_EQ(cl.node(1).socks.active_socket_count(), 0u);
+  EXPECT_EQ(cl.node(0).emp.posted_descriptor_count(), 0u);
+  EXPECT_EQ(cl.node(1).emp.posted_descriptor_count(), 0u);
+}
+
+TEST_P(ModelInvariance, TcpTransferStaysCorrect) {
+  auto model = model_for(GetParam());
+  Engine eng;
+  Cluster cl(eng, model, 2);
+
+  std::vector<std::uint8_t> data(30'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 23 + 1);
+  }
+  std::vector<std::uint8_t> received;
+
+  auto server = [&]() -> Task<void> {
+    auto& api = cl.node(1).tcp;
+    int ls = co_await api.socket();
+    co_await api.bind(ls, SockAddr{1, 80});
+    co_await api.listen(ls, 1);
+    int cs = co_await api.accept(ls, nullptr);
+    std::vector<std::uint8_t> buf(4'096);
+    for (;;) {
+      std::size_t n = co_await api.read(cs, buf);
+      if (n == 0) break;
+      received.insert(received.end(), buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    co_await api.close(cs);
+    co_await api.close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    auto& api = cl.node(0).tcp;
+    co_await eng.delay(1000);
+    int s = co_await api.socket();
+    co_await api.connect(s, SockAddr{1, 80});
+    co_await api.write_all(s, data);
+    co_await api.close(s);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  EXPECT_EQ(received, data);
+}
+
+std::string distortion_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"SlowNic", "SlowHost",
+                                       "FreeEverything", "SlowWire"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(Distortions, ModelInvariance,
+                         ::testing::Values(0, 1, 2, 3), distortion_name);
+
+}  // namespace
+}  // namespace ulsocks

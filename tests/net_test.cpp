@@ -1,0 +1,273 @@
+// Unit tests for links, the learning switch and topologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace ulsocks::net {
+namespace {
+
+using sim::Engine;
+using sim::Time;
+
+sim::WireCosts test_wire() {
+  sim::WireCosts w;
+  w.link_bps = 1'000'000'000ull;
+  w.propagation_ns = 300;
+  w.switch_latency_ns = 2'200;
+  return w;
+}
+
+FramePtr make_frame(std::uint32_t from, std::uint32_t to,
+                    std::size_t payload_size, std::uint8_t fill = 0xab) {
+  return std::make_unique<Frame>(
+      MacAddress::for_host(to), MacAddress::for_host(from), EtherType::kEmp,
+      std::vector<std::uint8_t>(payload_size, fill));
+}
+
+/// Records every delivered frame with its arrival time.
+struct Recorder final : FrameSink {
+  std::vector<std::pair<Time, FramePtr>> frames;
+  Engine* eng = nullptr;
+  void frame_arrived(FramePtr f) override {
+    frames.emplace_back(eng->now(), std::move(f));
+  }
+};
+
+TEST(Mac, ForHostIsUniqueAndStable) {
+  EXPECT_EQ(MacAddress::for_host(1), MacAddress::for_host(1));
+  EXPECT_NE(MacAddress::for_host(1), MacAddress::for_host(2));
+  EXPECT_FALSE(MacAddress::for_host(1).is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_EQ(MacAddress::for_host(0x01020304).to_string(),
+            "02:00:01:02:03:04");
+}
+
+TEST(Frame, WireBytesIncludesOverheadAndPadding) {
+  Frame small(MacAddress::for_host(1), MacAddress::for_host(2),
+              EtherType::kEmp, std::vector<std::uint8_t>(4));
+  // 8 preamble + 14 header + 46 padded + 4 fcs + 12 ifg = 84.
+  EXPECT_EQ(small.wire_bytes(), 84u);
+  Frame full(MacAddress::for_host(1), MacAddress::for_host(2), EtherType::kEmp,
+             std::vector<std::uint8_t>(1500));
+  EXPECT_EQ(full.wire_bytes(), 1538u);
+}
+
+TEST(Link, DeliversFrameAfterSerializationAndPropagation) {
+  Engine eng;
+  auto wire = test_wire();
+  Link link(eng, wire);
+  Recorder rx;
+  rx.eng = &eng;
+  link.attach(Link::Side::kB, &rx);
+
+  auto f = make_frame(0, 1, 1500);
+  std::uint64_t wire_bytes = f->wire_bytes();
+  link.transmit(Link::Side::kA, std::move(f));
+  eng.run();
+
+  ASSERT_EQ(rx.frames.size(), 1u);
+  Time expected = sim::serialization_ns(wire_bytes, wire.link_bps) + 300;
+  EXPECT_EQ(rx.frames[0].first, expected);
+  EXPECT_EQ(rx.frames[0].second->payload.size(), 1500u);
+}
+
+TEST(Link, PayloadBytesSurviveTransit) {
+  Engine eng;
+  Link link(eng, test_wire());
+  Recorder rx;
+  rx.eng = &eng;
+  link.attach(Link::Side::kB, &rx);
+
+  std::vector<std::uint8_t> body(257);
+  std::iota(body.begin(), body.end(), 0);
+  link.transmit(Link::Side::kA,
+                std::make_unique<Frame>(MacAddress::for_host(1),
+                                        MacAddress::for_host(0),
+                                        EtherType::kEmp, body));
+  eng.run();
+  ASSERT_EQ(rx.frames.size(), 1u);
+  EXPECT_EQ(rx.frames[0].second->payload, body);
+}
+
+TEST(Link, BackToBackFramesAreSerializedFifo) {
+  Engine eng;
+  auto wire = test_wire();
+  Link link(eng, wire);
+  Recorder rx;
+  rx.eng = &eng;
+  link.attach(Link::Side::kB, &rx);
+
+  for (int i = 0; i < 3; ++i) link.transmit(Link::Side::kA, make_frame(0, 1, 1500));
+  eng.run();
+
+  ASSERT_EQ(rx.frames.size(), 3u);
+  sim::Duration ser = sim::serialization_ns(1538, wire.link_bps);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(rx.frames[i].first, ser * (i + 1) + wire.propagation_ns);
+  }
+}
+
+TEST(Link, FullDuplexDirectionsDoNotInterfere) {
+  Engine eng;
+  auto wire = test_wire();
+  Link link(eng, wire);
+  Recorder rx_a, rx_b;
+  rx_a.eng = rx_b.eng = &eng;
+  link.attach(Link::Side::kA, &rx_a);
+  link.attach(Link::Side::kB, &rx_b);
+
+  link.transmit(Link::Side::kA, make_frame(0, 1, 1500));
+  link.transmit(Link::Side::kB, make_frame(1, 0, 1500));
+  eng.run();
+
+  ASSERT_EQ(rx_a.frames.size(), 1u);
+  ASSERT_EQ(rx_b.frames.size(), 1u);
+  // Both arrive at the single-frame time: no shared-medium contention.
+  EXPECT_EQ(rx_a.frames[0].first, rx_b.frames[0].first);
+}
+
+TEST(Link, DropNthPolicyDropsExactly) {
+  Engine eng;
+  Link link(eng, test_wire());
+  Recorder rx;
+  rx.eng = &eng;
+  link.attach(Link::Side::kB, &rx);
+  link.set_drop_policy(Link::Side::kA, drop_nth_policy({2, 4}));
+
+  for (std::uint8_t i = 0; i < 5; ++i) {
+    link.transmit(Link::Side::kA, make_frame(0, 1, 100, i));
+  }
+  eng.run();
+
+  ASSERT_EQ(rx.frames.size(), 3u);
+  EXPECT_EQ(rx.frames[0].second->payload[0], 0);
+  EXPECT_EQ(rx.frames[1].second->payload[0], 2);
+  EXPECT_EQ(rx.frames[2].second->payload[0], 4);
+  EXPECT_EQ(link.frames_dropped(Link::Side::kA), 2u);
+  EXPECT_EQ(link.frames_sent(Link::Side::kA), 5u);
+}
+
+TEST(Link, RandomDropPolicyIsSeedDeterministic) {
+  auto run_once = [](std::uint64_t seed) {
+    Engine eng(seed);
+    Link link(eng, test_wire());
+    Recorder rx;
+    rx.eng = &eng;
+    link.attach(Link::Side::kB, &rx);
+    link.set_drop_policy(Link::Side::kA,
+                         random_drop_policy(eng.rng(), 0.3));
+    for (int i = 0; i < 100; ++i) {
+      link.transmit(Link::Side::kA, make_frame(0, 1, 64));
+    }
+    eng.run();
+    return rx.frames.size();
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+  EXPECT_GT(run_once(9), 40u);
+  EXPECT_LT(run_once(9), 95u);
+}
+
+class SwitchTest : public ::testing::Test {
+ protected:
+  // Three hosts on a star.
+  SwitchTest() : net_(eng_, test_wire(), 3) {
+    for (int h = 0; h < 3; ++h) {
+      rx_[h].eng = &eng_;
+      net_.host_link(static_cast<std::size_t>(h))
+          .attach(StarNetwork::kHostSide, &rx_[h]);
+    }
+  }
+
+  void send(std::uint32_t from, std::uint32_t to, std::size_t size) {
+    net_.host_link(from).transmit(
+        Link::Side::kA == StarNetwork::kHostSide ? Link::Side::kA
+                                                 : Link::Side::kB,
+        make_frame(from, to, size));
+  }
+
+  Engine eng_;
+  StarNetwork net_;
+  Recorder rx_[3];
+};
+
+TEST_F(SwitchTest, UnknownDestinationIsFlooded) {
+  send(0, 1, 100);
+  eng_.run();
+  // Host 1's MAC was never learned, so hosts 1 and 2 both get a copy.
+  EXPECT_EQ(rx_[1].frames.size(), 1u);
+  EXPECT_EQ(rx_[2].frames.size(), 1u);
+  EXPECT_EQ(net_.fabric().frames_flooded(), 1u);
+}
+
+TEST_F(SwitchTest, LearnedDestinationIsUnicast) {
+  send(1, 0, 64);  // teaches the switch where host 1 lives
+  send(0, 1, 100);
+  eng_.run();
+  // After learning, the second frame goes only to host 1.
+  EXPECT_EQ(rx_[1].frames.size(), 1u);
+  EXPECT_EQ(rx_[2].frames.size(), 0u);
+  EXPECT_EQ(net_.fabric().learned_macs(), 2u);
+}
+
+TEST_F(SwitchTest, StoreAndForwardTiming) {
+  send(1, 0, 64);  // learn
+  eng_.run();
+  Time t0 = eng_.now();
+  send(0, 1, 1500);
+  eng_.run();
+  ASSERT_EQ(rx_[1].frames.size(), 1u);
+  auto wire = test_wire();
+  sim::Duration ser = sim::serialization_ns(1538, wire.link_bps);
+  Time expected = t0 + ser + wire.propagation_ns + wire.switch_latency_ns +
+                  ser + wire.propagation_ns;
+  EXPECT_EQ(rx_[1].frames[0].first, expected);
+}
+
+TEST_F(SwitchTest, BroadcastReachesAllOtherPorts) {
+  net_.host_link(0).transmit(
+      StarNetwork::kHostSide,
+      std::make_unique<Frame>(MacAddress::broadcast(),
+                              MacAddress::for_host(0), EtherType::kEmp,
+                              std::vector<std::uint8_t>(10)));
+  eng_.run();
+  EXPECT_EQ(rx_[0].frames.size(), 0u);
+  EXPECT_EQ(rx_[1].frames.size(), 1u);
+  EXPECT_EQ(rx_[2].frames.size(), 1u);
+}
+
+TEST_F(SwitchTest, EgressOverloadDropsTail) {
+  // Hosts 0 and 2 blast host 1 simultaneously; the egress port drains at
+  // 1 Gb/s while 2 Gb/s arrives, so the port buffer must eventually drop.
+  send(1, 0, 64);  // learn host 1
+  eng_.run();
+  const int kFrames = 400;  // 400 * 1538B ~ 615 KB >> 256 KB buffer
+  for (int i = 0; i < kFrames; ++i) {
+    send(0, 1, 1500);
+    send(2, 1, 1500);
+  }
+  eng_.run();
+  EXPECT_GT(net_.fabric().frames_dropped(), 0u);
+  EXPECT_LT(rx_[1].frames.size(), static_cast<std::size_t>(2 * kFrames));
+  EXPECT_GT(rx_[1].frames.size(), static_cast<std::size_t>(kFrames / 2));
+}
+
+TEST(BackToBack, ConnectsTwoHostsDirectly) {
+  Engine eng;
+  BackToBack b2b(eng, test_wire());
+  Recorder rx;
+  rx.eng = &eng;
+  b2b.link().attach(b2b.side_of(1), &rx);
+  b2b.link().transmit(b2b.side_of(0), make_frame(0, 1, 200));
+  eng.run();
+  EXPECT_EQ(rx.frames.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ulsocks::net

@@ -1,0 +1,752 @@
+// Tests for the sockets-over-EMP substrate: connection management, stream
+// and datagram semantics, credit flow control, rendezvous, delayed acks,
+// the unexpected-queue option, resource reclamation and select().
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "sim/engine.hpp"
+#include "sockets/config.hpp"
+#include "sockets/control.hpp"
+#include "sockets/substrate.hpp"
+
+namespace ulsocks::sockets {
+namespace {
+
+using apps::Cluster;
+using os::SockAddr;
+using os::SockErr;
+using os::SocketError;
+using sim::Engine;
+using sim::Task;
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 11);
+  }
+  return v;
+}
+
+TEST(ControlWire, CtrlRoundTrip) {
+  CtrlMsg m;
+  m.type = CtrlType::kRendReq;
+  m.a = 123456;
+  m.b = 77;
+  m.c = 0xdeadbeef;
+  auto bytes = encode_ctrl(m);
+  EXPECT_EQ(bytes.size(), kCtrlBytes);
+  auto d = decode_ctrl(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, CtrlType::kRendReq);
+  EXPECT_EQ(d->a, 123456u);
+  EXPECT_EQ(d->b, 77u);
+  EXPECT_EQ(d->c, 0xdeadbeefu);
+}
+
+TEST(ControlWire, ConnRequestRoundTrip) {
+  ConnRequest r;
+  r.client_node = 3;
+  r.client_port = 40001;
+  r.data_tag = 19;
+  r.ctrl_tag = 20;
+  r.rend_tag = 21;
+  r.credits = 32;
+  r.buffer_bytes = 65536;
+  auto bytes = encode_conn_request(r);
+  auto d = decode_conn_request(bytes);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, r);
+}
+
+TEST(ControlWire, DataHeaderRoundTrip) {
+  DataHeader h;
+  h.piggyback_credits = 513;
+  h.flags = 7;
+  std::uint8_t buf[4];
+  encode_data_header(h, buf);
+  auto d = decode_data_header(buf);
+  EXPECT_EQ(d.piggyback_credits, 513);
+  EXPECT_EQ(d.flags, 7);
+}
+
+TEST(Config, PresetsMatchPaperLabels) {
+  auto ds = preset_ds();
+  EXPECT_FALSE(ds.delayed_acks);
+  EXPECT_FALSE(ds.unexpected_queue_acks);
+  EXPECT_EQ(ds.ctrl_descriptors(), ds.credits);  // the "2N" layout
+  auto da = preset_ds_da();
+  EXPECT_TRUE(da.delayed_acks);
+  EXPECT_EQ(da.ctrl_descriptors(), 2u);
+  EXPECT_EQ(da.ack_every(), 16u);  // half of 32 credits
+  auto uq = preset_ds_da_uq();
+  EXPECT_EQ(uq.ctrl_descriptors(), 0u);
+  auto dg = preset_dg();
+  EXPECT_FALSE(dg.data_streaming);
+}
+
+class SubstratePair : public ::testing::TestWithParam<SubstrateConfig> {
+ protected:
+  SubstratePair() : cluster_(eng_, sim::calibrated_cost_model(), 2,
+                             GetParam()) {}
+
+  EmpSocketStack& stack(int i) { return cluster_.node(static_cast<std::size_t>(i)).socks; }
+
+  Engine eng_;
+  Cluster cluster_;
+};
+
+// The core end-to-end property, run under every paper configuration (DS,
+// DS_DA, DS_DA_UQ, DG, rendezvous): connect, exchange patterned data both
+// ways, close, and leak nothing.
+TEST_P(SubstratePair, ConnectTransferClose) {
+  const auto data = pattern(10'000, 5);
+  std::vector<std::uint8_t> received;
+  SockAddr peer{};
+  bool server_saw_eof = false;
+
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 4);
+    int cs = co_await stack(1).accept(ls, &peer);
+    // Big enough for one whole message: under datagram semantics a short
+    // buffer would (correctly) truncate.
+    std::vector<std::uint8_t> buf(10'000);
+    for (;;) {
+      std::size_t n = co_await stack(1).read(cs, buf);
+      if (n == 0) break;
+      received.insert(received.end(), buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    server_saw_eof = true;
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(10'000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    co_await stack(0).write_all(s, data);
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+
+  EXPECT_TRUE(server_saw_eof);
+  EXPECT_EQ(received, data);
+  EXPECT_EQ(peer.node, 0);  // §5.1: the client's identity is preserved
+  // §5.3: all descriptors reclaimed, active socket tables empty.
+  EXPECT_EQ(stack(0).active_socket_count(), 0u);
+  EXPECT_EQ(stack(1).active_socket_count(), 0u);
+  EXPECT_EQ(cluster_.node(0).emp.posted_descriptor_count(), 0u);
+  EXPECT_EQ(cluster_.node(1).emp.posted_descriptor_count(), 0u);
+}
+
+SubstrateConfig rendezvous_cfg() {
+  SubstrateConfig c = preset_ds_da_uq();
+  c.flow = FlowControl::kRendezvous;
+  return c;
+}
+
+SubstrateConfig small_credit_cfg() {
+  SubstrateConfig c = preset_ds_da_uq();
+  c.credits = 2;
+  c.buffer_bytes = 1024;
+  return c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, SubstratePair,
+    ::testing::Values(preset_ds(), preset_ds_da(), preset_ds_da_uq(),
+                      preset_dg(), rendezvous_cfg(), small_credit_cfg()));
+
+class SubstrateTest : public ::testing::Test {
+ protected:
+  SubstrateTest() : cluster_(eng_, sim::calibrated_cost_model(), 2) {}
+  EmpSocketStack& stack(int i) { return cluster_.node(static_cast<std::size_t>(i)).socks; }
+  Engine eng_;
+  Cluster cluster_;
+};
+
+TEST_F(SubstrateTest, StreamSemanticsAcrossMessageBoundaries) {
+  // The paper's data-streaming option: 10 bytes written at once can be read
+  // as two sets of 5 bytes.
+  bool done = false;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 1);
+    int cs = co_await stack(1).accept(ls, nullptr);
+    std::vector<std::uint8_t> a(5), b(5);
+    co_await stack(1).read_exact(cs, a);
+    co_await stack(1).read_exact(cs, b);
+    auto expect = pattern(10, 1);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), expect.begin()));
+    EXPECT_TRUE(std::equal(b.begin(), b.end(), expect.begin() + 5));
+    done = true;
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    co_await stack(0).write_all(s, pattern(10, 1));
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(SubstrateTest, DatagramPreservesMessageBoundaries) {
+  // Datagram sockets: one message per read, remainder truncated.
+  int reads = 0;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 1);
+    co_await stack(1).set_option(ls, os::SockOpt::kDatagram, 1);
+    int cs = co_await stack(1).accept(ls, nullptr);
+    std::vector<std::uint8_t> buf(100);
+    // Two 40-byte messages: each read returns exactly one.
+    std::size_t n1 = co_await stack(1).read(cs, buf);
+    EXPECT_EQ(n1, 40u);
+    std::size_t n2 = co_await stack(1).read(cs, buf);
+    EXPECT_EQ(n2, 40u);
+    reads = 2;
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).set_option(s, os::SockOpt::kDatagram, 1);
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    std::size_t n = co_await stack(0).write(s, pattern(40, 1));
+    EXPECT_EQ(n, 40u);
+    n = co_await stack(0).write(s, pattern(40, 2));
+    EXPECT_EQ(n, 40u);
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_EQ(reads, 2);
+}
+
+TEST_F(SubstrateTest, DatagramLargeMessageUsesZeroCopyRendezvous) {
+  // DG writes above the temporary-buffer size switch to rendezvous (§6.2).
+  const auto big = pattern(300'000, 3);
+  std::vector<std::uint8_t> rx(300'000);
+  bool ok = false;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 1);
+    co_await stack(1).set_option(ls, os::SockOpt::kDatagram, 1);
+    int cs = co_await stack(1).accept(ls, nullptr);
+    std::size_t n = co_await stack(1).read(cs, rx);
+    EXPECT_EQ(n, big.size());
+    ok = rx == big;
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).set_option(s, os::SockOpt::kDatagram, 1);
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    std::size_t n = co_await stack(0).write(s, big);
+    EXPECT_EQ(n, big.size());
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GE(stack(0).stats().rendezvous_messages_tx, 1u);
+}
+
+TEST_F(SubstrateTest, ConnectRefusedWithoutListener) {
+  bool refused = false;
+  auto client = [&]() -> Task<void> {
+    int s = co_await stack(0).socket();
+    try {
+      co_await stack(0).connect(s, SockAddr{1, 4242});
+    } catch (const SocketError& e) {
+      refused = e.code() == SockErr::kRefused;
+    }
+  };
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_TRUE(refused);
+  EXPECT_EQ(stack(0).active_socket_count(), 0u);
+}
+
+TEST_F(SubstrateTest, ConnectionTimeIsOneMessageExchange) {
+  // §7.4: substrate connection setup is one message exchange plus the
+  // descriptor posting on each side (which is why the paper drops to 4
+  // credits for the web server); with 4 credits it lands far below TCP's
+  // 200-250 us kernel-mediated handshake.
+  auto measure = [&](std::uint32_t credits) {
+    SubstrateConfig cfg = preset_ds_da_uq();
+    cfg.credits = credits;
+    Engine eng;
+    Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg);
+    sim::Time t0 = 0, t1 = 0;
+    auto server = [&]() -> Task<void> {
+      auto& st = cl.node(1).socks;
+      int ls = co_await st.socket();
+      co_await st.bind(ls, SockAddr{1, 80});
+      co_await st.listen(ls, 1);
+      // Two connections: the second measures steady state (buffers pooled
+      // and pinned, translation cache warm).
+      for (int i = 0; i < 2; ++i) {
+        int cs = co_await st.accept(ls, nullptr);
+        co_await st.close(cs);
+      }
+    };
+    auto client = [&]() -> Task<void> {
+      auto& st = cl.node(0).socks;
+      co_await eng.delay(10'000);
+      int warm = co_await st.socket();
+      co_await st.connect(warm, SockAddr{1, 80});
+      co_await st.close(warm);
+      co_await eng.delay(1'000'000);
+      int s = co_await st.socket();
+      t0 = eng.now();
+      co_await st.connect(s, SockAddr{1, 80});
+      t1 = eng.now();
+    };
+    eng.spawn(server());
+    eng.spawn(client());
+    eng.run_until(50'000'000);
+    return sim::to_us(t1 - t0);
+  };
+  double us4 = measure(4);
+  double us32 = measure(32);
+  EXPECT_GT(us4, 30.0);
+  EXPECT_LT(us4, 160.0);   // well under TCP's ~230 us
+  EXPECT_GT(us32, us4);    // §7.4: descriptor posting cost grows with N
+}
+
+TEST_F(SubstrateTest, CreditExhaustionBlocksWriterUntilReaderDrains) {
+  // With N credits, at most N eager messages can be outstanding; the
+  // writer must block on the (N+1)th until the reader consumes one.
+  SubstrateConfig cfg = preset_ds_da_uq();
+  cfg.credits = 4;
+  cfg.buffer_bytes = 1024;
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg);
+
+  sim::Time writer_blocked_until = 0;
+  auto server = [&]() -> Task<void> {
+    auto& st = cl.node(1).socks;
+    int ls = co_await st.socket();
+    co_await st.bind(ls, SockAddr{1, 80});
+    co_await st.listen(ls, 1);
+    int cs = co_await st.accept(ls, nullptr);
+    // Do not read for 5 ms: the writer exhausts its 4 credits.
+    co_await eng.delay(5'000'000);
+    std::vector<std::uint8_t> buf(1024);
+    for (int i = 0; i < 6; ++i) {
+      co_await st.read_exact(cs, buf);
+    }
+    co_await st.close(cs);
+    co_await st.close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    auto& st = cl.node(0).socks;
+    co_await eng.delay(1000);
+    int s = co_await st.socket();
+    co_await st.connect(s, SockAddr{1, 80});
+    auto chunk = pattern(1024);
+    for (int i = 0; i < 6; ++i) {
+      co_await st.write_all(s, chunk);
+    }
+    writer_blocked_until = eng.now();
+    co_await st.close(s);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  // The writer cannot have finished before the reader started draining.
+  EXPECT_GT(writer_blocked_until, 5'000'000u);
+}
+
+TEST_F(SubstrateTest, RendezvousMutualWriteDeadlocks) {
+  // Figure 7: with the rendezvous scheme, write()-then-read() on both
+  // sides deadlocks.  The substrate faithfully reproduces this hazard —
+  // avoiding it is the application's responsibility.
+  SubstrateConfig cfg = preset_ds_da_uq();
+  cfg.flow = FlowControl::kRendezvous;
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg);
+
+  int completions = 0;
+  auto side = [&](int me, bool listener) -> Task<void> {
+    auto& st = cl.node(static_cast<std::size_t>(me)).socks;
+    int fd;
+    if (listener) {
+      int ls = co_await st.socket();
+      co_await st.bind(ls, SockAddr{1, 80});
+      co_await st.listen(ls, 1);
+      fd = co_await st.accept(ls, nullptr);
+    } else {
+      co_await eng.delay(1000);
+      fd = co_await st.socket();
+      co_await st.connect(fd, SockAddr{1, 80});
+    }
+    auto data = pattern(1000);
+    co_await st.write_all(fd, data);  // blocks awaiting the grant...
+    std::vector<std::uint8_t> buf(1000);
+    co_await st.read_exact(fd, buf);  // ...which only a read would give
+    ++completions;
+  };
+  eng.spawn(side(1, true));
+  eng.spawn(side(0, false));
+  eng.run_until(2'000'000'000);  // 2 simulated seconds
+  EXPECT_EQ(completions, 0);  // both sides are deadlocked, as in the paper
+}
+
+TEST_F(SubstrateTest, EagerCreditsSurviveMutualWritesWithinCredits) {
+  // Same pattern as above but with eager flow control: up to N
+  // outstanding writes per direction are absorbed by the 2N descriptors
+  // (§6.1), so the exchange completes.
+  int completions = 0;
+  auto side = [&](int me, bool listener) -> Task<void> {
+    auto& st = stack(me);
+    int fd;
+    if (listener) {
+      int ls = co_await st.socket();
+      co_await st.bind(ls, SockAddr{1, 80});
+      co_await st.listen(ls, 1);
+      fd = co_await st.accept(ls, nullptr);
+    } else {
+      co_await eng_.delay(1000);
+      fd = co_await st.socket();
+      co_await st.connect(fd, SockAddr{1, 80});
+    }
+    auto data = pattern(30'000);
+    co_await st.write_all(fd, data);
+    std::vector<std::uint8_t> buf(30'000);
+    co_await st.read_exact(fd, buf);
+    EXPECT_EQ(buf, data);
+    ++completions;
+  };
+  eng_.spawn(side(1, true));
+  eng_.spawn(side(0, false));
+  eng_.run();
+  EXPECT_EQ(completions, 2);
+}
+
+TEST_F(SubstrateTest, BacklogLimitsSimultaneousConnections) {
+  // With backlog 2 and no accept, the third connect cannot complete until
+  // the server starts accepting.
+  int accepted = 0;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 2);
+    co_await eng_.delay(30'000'000);  // 30 ms before accepting
+    for (int i = 0; i < 3; ++i) {
+      int cs = co_await stack(1).accept(ls, nullptr);
+      (void)cs;
+      ++accepted;
+    }
+  };
+  std::vector<sim::Time> connected(3);
+  auto client = [&](int idx) -> Task<void> {
+    co_await eng_.delay(1000 + idx);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    connected[static_cast<std::size_t>(idx)] = eng_.now();
+  };
+  eng_.spawn(server());
+  for (int i = 0; i < 3; ++i) eng_.spawn(client(i));
+  eng_.run_until(200'000'000);
+  EXPECT_EQ(accepted, 3);
+  // The first two requests are absorbed by the two pre-posted backlog
+  // descriptors, so those connects complete immediately; the third finds
+  // the backlog full, is dropped, and only gets through via EMP
+  // retransmission once accept() reposts a descriptor after 30 ms.
+  EXPECT_LT(connected[0], 30'000'000u);
+  EXPECT_LT(connected[1], 30'000'000u);
+  EXPECT_GT(connected[2], 30'000'000u);
+  EXPECT_GT(cluster_.node(1).emp.stats().unmatched_drops, 0u);
+  EXPECT_GT(cluster_.node(0).emp.stats().retransmitted_frames, 0u);
+}
+
+TEST_F(SubstrateTest, SelectWakesOnReadable) {
+  std::vector<int> ready_fds;
+  auto server = [&]() -> Task<void> {
+    auto& node = cluster_.node(1);
+    os::Process proc(node.host);
+    int ls = co_await proc.socket(node.socks);
+    co_await proc.bind(ls, SockAddr{1, 80});
+    co_await proc.listen(ls, 1);
+    int cs = co_await proc.accept(ls);
+    // select() on the connection: data arrives 1 ms later.
+    // Note: GCC 12 miscompiles braced temporaries passed by value into a
+    // coroutine ("array used as initializer"); use a named vector.
+    std::vector<int> watch{cs};
+    ready_fds = co_await proc.select(watch);
+    std::vector<std::uint8_t> buf(16);
+    std::size_t n = co_await proc.read(cs, buf);
+    EXPECT_EQ(n, 16u);
+    co_await proc.close(cs);
+    co_await proc.close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    co_await eng_.delay(1'000'000);
+    co_await stack(0).write_all(s, pattern(16));
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  ASSERT_EQ(ready_fds.size(), 1u);
+}
+
+TEST_F(SubstrateTest, ManySequentialConnectionsDoNotLeak) {
+  // A close() storm: every connection's descriptors and tags must be
+  // reclaimed (§5.3).
+  constexpr int kConns = 25;
+  int served = 0;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 4);
+    for (int i = 0; i < kConns; ++i) {
+      int cs = co_await stack(1).accept(ls, nullptr);
+      std::vector<std::uint8_t> buf(64);
+      std::size_t n = co_await stack(1).read(cs, buf);
+      co_await stack(1).write_all(
+          cs, std::span<const std::uint8_t>(buf).first(n));
+      co_await stack(1).close(cs);
+      ++served;
+    }
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    for (int i = 0; i < kConns; ++i) {
+      int s = co_await stack(0).socket();
+      co_await stack(0).connect(s, SockAddr{1, 80});
+      auto msg = pattern(64, static_cast<std::uint8_t>(i));
+      co_await stack(0).write_all(s, msg);
+      std::vector<std::uint8_t> echo(64);
+      co_await stack(0).read_exact(s, echo);
+      EXPECT_EQ(echo, msg);
+      co_await stack(0).close(s);
+    }
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+
+  EXPECT_EQ(served, kConns);
+  EXPECT_EQ(stack(0).active_socket_count(), 0u);
+  EXPECT_EQ(stack(1).active_socket_count(), 0u);
+  EXPECT_EQ(cluster_.node(0).emp.posted_descriptor_count(), 0u);
+  EXPECT_EQ(cluster_.node(1).emp.posted_descriptor_count(), 0u);
+  EXPECT_EQ(cluster_.node(0).emp.pending_send_count(), 0u);
+  EXPECT_EQ(cluster_.node(1).emp.pending_send_count(), 0u);
+}
+
+TEST_F(SubstrateTest, WriteAfterPeerCloseThrows) {
+  bool threw = false;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 1);
+    int cs = co_await stack(1).accept(ls, nullptr);
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(1000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    co_await eng_.delay(1'000'000);  // let the close notification land
+    try {
+      auto d = pattern(8);
+      co_await stack(0).write_all(s, d);
+    } catch (const SocketError& e) {
+      threw = e.code() == SockErr::kClosed;
+    }
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(SubstrateTest, DelayedAcksReduceExplicitAckTraffic) {
+  auto run_with = [&](bool delayed) {
+    SubstrateConfig cfg = preset_ds();
+    cfg.delayed_acks = delayed;
+    cfg.piggyback_acks = false;
+    cfg.credits = 8;
+    cfg.buffer_bytes = 1024;
+    Engine eng;
+    Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg);
+    auto server = [&]() -> Task<void> {
+      auto& st = cl.node(1).socks;
+      int ls = co_await st.socket();
+      co_await st.bind(ls, SockAddr{1, 80});
+      co_await st.listen(ls, 1);
+      int cs = co_await st.accept(ls, nullptr);
+      std::vector<std::uint8_t> buf(1024);
+      for (int i = 0; i < 32; ++i) co_await st.read_exact(cs, buf);
+      co_await st.close(cs);
+      co_await st.close(ls);
+    };
+    auto client = [&]() -> Task<void> {
+      auto& st = cl.node(0).socks;
+      co_await eng.delay(1000);
+      int s = co_await st.socket();
+      co_await st.connect(s, SockAddr{1, 80});
+      auto chunk = pattern(1024);
+      for (int i = 0; i < 32; ++i) co_await st.write_all(s, chunk);
+      co_await st.close(s);
+    };
+    eng.spawn(server());
+    eng.spawn(client());
+    eng.run();
+    return cl.node(1).socks.stats().credit_acks_tx;
+  };
+  auto acks_immediate = run_with(false);
+  auto acks_delayed = run_with(true);
+  EXPECT_GT(acks_immediate, 2 * acks_delayed);
+}
+
+TEST_F(SubstrateTest, PiggybackReturnsCreditsOnReverseTraffic) {
+  // Request-response traffic: with piggybacking on, credits ride the
+  // responses and explicit acks (mostly) disappear.
+  SubstrateConfig cfg = preset_ds_da_uq();
+  cfg.credits = 8;
+  cfg.buffer_bytes = 1024;
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg);
+  auto server = [&]() -> Task<void> {
+    auto& st = cl.node(1).socks;
+    int ls = co_await st.socket();
+    co_await st.bind(ls, SockAddr{1, 80});
+    co_await st.listen(ls, 1);
+    int cs = co_await st.accept(ls, nullptr);
+    std::vector<std::uint8_t> buf(128);
+    for (int i = 0; i < 64; ++i) {
+      co_await st.read_exact(cs, buf);
+      co_await st.write_all(cs, buf);
+    }
+    co_await st.close(cs);
+    co_await st.close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    auto& st = cl.node(0).socks;
+    co_await eng.delay(1000);
+    int s = co_await st.socket();
+    co_await st.connect(s, SockAddr{1, 80});
+    std::vector<std::uint8_t> buf(128, 9);
+    for (int i = 0; i < 64; ++i) {
+      co_await st.write_all(s, buf);
+      co_await st.read_exact(s, buf);
+    }
+    co_await st.close(s);
+  };
+  eng.spawn(server());
+  eng.spawn(client());
+  eng.run();
+  EXPECT_GT(cl.node(1).socks.stats().credits_piggybacked, 30u);
+}
+
+TEST_F(SubstrateTest, LatencyBeatsKernelTcpByPaperFactor) {
+  // Figure 13: ~4.2x (datagram) / ~3.4x (streaming) better latency than
+  // TCP at 4 bytes.  Check the substrate side here (TCP verified in
+  // tcp_test): one-way < 45 us for streaming with all enhancements.
+  constexpr int kIters = 30;
+  double one_way_us = 0;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 1);
+    int cs = co_await stack(1).accept(ls, nullptr);
+    std::vector<std::uint8_t> buf(4);
+    for (int i = 0; i < kIters; ++i) {
+      co_await stack(1).read_exact(cs, buf);
+      co_await stack(1).write_all(cs, buf);
+    }
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(10'000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    std::vector<std::uint8_t> buf(4);
+    sim::Time t0 = eng_.now();
+    for (int i = 0; i < kIters; ++i) {
+      co_await stack(0).write_all(s, buf);
+      co_await stack(0).read_exact(s, buf);
+    }
+    one_way_us = sim::to_us(eng_.now() - t0) / (2.0 * kIters);
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_GT(one_way_us, 28.0);
+  EXPECT_LT(one_way_us, 48.0);
+}
+
+TEST_F(SubstrateTest, ReliableUnderFrameLoss) {
+  // The substrate inherits EMP's reliability: data survives frame loss
+  // without application-visible effects.
+  cluster_.network().host_link(0).set_drop_policy(
+      net::StarNetwork::kHostSide,
+      net::random_drop_policy(eng_.rng(), 0.03));
+  cluster_.network().host_link(1).set_drop_policy(
+      net::StarNetwork::kHostSide,
+      net::random_drop_policy(eng_.rng(), 0.03));
+  const auto data = pattern(60'000, 7);
+  std::vector<std::uint8_t> received;
+  auto server = [&]() -> Task<void> {
+    int ls = co_await stack(1).socket();
+    co_await stack(1).bind(ls, SockAddr{1, 80});
+    co_await stack(1).listen(ls, 1);
+    int cs = co_await stack(1).accept(ls, nullptr);
+    std::vector<std::uint8_t> buf(4096);
+    for (;;) {
+      std::size_t n = co_await stack(1).read(cs, buf);
+      if (n == 0) break;
+      received.insert(received.end(), buf.begin(),
+                      buf.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    co_await stack(1).close(cs);
+    co_await stack(1).close(ls);
+  };
+  auto client = [&]() -> Task<void> {
+    co_await eng_.delay(10'000);
+    int s = co_await stack(0).socket();
+    co_await stack(0).connect(s, SockAddr{1, 80});
+    co_await stack(0).write_all(s, data);
+    co_await stack(0).close(s);
+  };
+  eng_.spawn(server());
+  eng_.spawn(client());
+  eng_.run();
+  EXPECT_EQ(received, data);
+}
+
+}  // namespace
+}  // namespace ulsocks::sockets
