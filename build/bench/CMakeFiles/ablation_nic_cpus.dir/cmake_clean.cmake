@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nic_cpus.dir/ablation_nic_cpus.cpp.o"
+  "CMakeFiles/ablation_nic_cpus.dir/ablation_nic_cpus.cpp.o.d"
+  "ablation_nic_cpus"
+  "ablation_nic_cpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nic_cpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

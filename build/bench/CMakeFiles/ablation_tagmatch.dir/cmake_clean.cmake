@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tagmatch.dir/ablation_tagmatch.cpp.o"
+  "CMakeFiles/ablation_tagmatch.dir/ablation_tagmatch.cpp.o.d"
+  "ablation_tagmatch"
+  "ablation_tagmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

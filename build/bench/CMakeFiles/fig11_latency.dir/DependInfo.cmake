@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_latency.cpp" "bench/CMakeFiles/fig11_latency.dir/fig11_latency.cpp.o" "gcc" "bench/CMakeFiles/fig11_latency.dir/fig11_latency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ulsocks_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ulsocks_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/ulsocks_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ulsocks_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/emp/CMakeFiles/ulsocks_emp.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/ulsocks_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ulsocks_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ulsocks_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_credits.dir/fig12_credits.cpp.o"
+  "CMakeFiles/fig12_credits.dir/fig12_credits.cpp.o.d"
+  "fig12_credits"
+  "fig12_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

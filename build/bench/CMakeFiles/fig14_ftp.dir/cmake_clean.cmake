@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ftp.dir/fig14_ftp.cpp.o"
+  "CMakeFiles/fig14_ftp.dir/fig14_ftp.cpp.o.d"
+  "fig14_ftp"
+  "fig14_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

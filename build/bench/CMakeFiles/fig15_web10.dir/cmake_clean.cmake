@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_web10.dir/fig15_web10.cpp.o"
+  "CMakeFiles/fig15_web10.dir/fig15_web10.cpp.o.d"
+  "fig15_web10"
+  "fig15_web10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_web10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_web11.dir/fig16_web11.cpp.o"
+  "CMakeFiles/fig16_web11.dir/fig16_web11.cpp.o.d"
+  "fig16_web11"
+  "fig16_web11.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_web11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_matmul.dir/fig17_matmul.cpp.o"
+  "CMakeFiles/fig17_matmul.dir/fig17_matmul.cpp.o.d"
+  "fig17_matmul"
+  "fig17_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

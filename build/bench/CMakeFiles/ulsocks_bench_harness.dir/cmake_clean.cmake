@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/ulsocks_bench_harness.dir/harness.cpp.o.d"
+  "libulsocks_bench_harness.a"
+  "libulsocks_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

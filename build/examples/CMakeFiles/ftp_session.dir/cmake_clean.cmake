@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftp_session.dir/ftp_session.cpp.o"
+  "CMakeFiles/ftp_session.dir/ftp_session.cpp.o.d"
+  "ftp_session"
+  "ftp_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftp_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_cluster.dir/matmul_cluster.cpp.o"
+  "CMakeFiles/matmul_cluster.dir/matmul_cluster.cpp.o.d"
+  "matmul_cluster"
+  "matmul_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

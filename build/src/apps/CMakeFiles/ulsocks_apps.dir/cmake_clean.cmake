@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_apps.dir/ftp.cpp.o"
+  "CMakeFiles/ulsocks_apps.dir/ftp.cpp.o.d"
+  "CMakeFiles/ulsocks_apps.dir/httpd.cpp.o"
+  "CMakeFiles/ulsocks_apps.dir/httpd.cpp.o.d"
+  "CMakeFiles/ulsocks_apps.dir/kvstore.cpp.o"
+  "CMakeFiles/ulsocks_apps.dir/kvstore.cpp.o.d"
+  "CMakeFiles/ulsocks_apps.dir/matmul.cpp.o"
+  "CMakeFiles/ulsocks_apps.dir/matmul.cpp.o.d"
+  "libulsocks_apps.a"
+  "libulsocks_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

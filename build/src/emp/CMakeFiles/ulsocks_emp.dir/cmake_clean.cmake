@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_emp.dir/endpoint.cpp.o"
+  "CMakeFiles/ulsocks_emp.dir/endpoint.cpp.o.d"
+  "CMakeFiles/ulsocks_emp.dir/wire.cpp.o"
+  "CMakeFiles/ulsocks_emp.dir/wire.cpp.o.d"
+  "libulsocks_emp.a"
+  "libulsocks_emp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_emp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ulsocks_emp.
+# This may be replaced when dependencies are built.

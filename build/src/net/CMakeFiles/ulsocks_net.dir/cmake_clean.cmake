@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_net.dir/link.cpp.o"
+  "CMakeFiles/ulsocks_net.dir/link.cpp.o.d"
+  "CMakeFiles/ulsocks_net.dir/switch.cpp.o"
+  "CMakeFiles/ulsocks_net.dir/switch.cpp.o.d"
+  "libulsocks_net.a"
+  "libulsocks_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulsocks_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_os.dir/process.cpp.o"
+  "CMakeFiles/ulsocks_os.dir/process.cpp.o.d"
+  "libulsocks_os.a"
+  "libulsocks_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_sim.dir/stats.cpp.o"
+  "CMakeFiles/ulsocks_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/ulsocks_sim.dir/trace.cpp.o"
+  "CMakeFiles/ulsocks_sim.dir/trace.cpp.o.d"
+  "libulsocks_sim.a"
+  "libulsocks_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_substrate.dir/control.cpp.o"
+  "CMakeFiles/ulsocks_substrate.dir/control.cpp.o.d"
+  "CMakeFiles/ulsocks_substrate.dir/substrate.cpp.o"
+  "CMakeFiles/ulsocks_substrate.dir/substrate.cpp.o.d"
+  "libulsocks_substrate.a"
+  "libulsocks_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulsocks_tcp.dir/segment.cpp.o"
+  "CMakeFiles/ulsocks_tcp.dir/segment.cpp.o.d"
+  "CMakeFiles/ulsocks_tcp.dir/tcp_stack.cpp.o"
+  "CMakeFiles/ulsocks_tcp.dir/tcp_stack.cpp.o.d"
+  "libulsocks_tcp.a"
+  "libulsocks_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulsocks_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

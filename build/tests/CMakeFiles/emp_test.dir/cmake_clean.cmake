@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emp_test.dir/emp_test.cpp.o"
+  "CMakeFiles/emp_test.dir/emp_test.cpp.o.d"
+  "emp_test"
+  "emp_test.pdb"
+  "emp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

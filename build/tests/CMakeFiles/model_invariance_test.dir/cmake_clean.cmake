@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_invariance_test.dir/model_invariance_test.cpp.o"
+  "CMakeFiles/model_invariance_test.dir/model_invariance_test.cpp.o.d"
+  "model_invariance_test"
+  "model_invariance_test.pdb"
+  "model_invariance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

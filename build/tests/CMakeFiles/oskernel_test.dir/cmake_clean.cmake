@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskernel_test.dir/oskernel_test.cpp.o"
+  "CMakeFiles/oskernel_test.dir/oskernel_test.cpp.o.d"
+  "oskernel_test"
+  "oskernel_test.pdb"
+  "oskernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_test.dir/substrate_test.cpp.o"
+  "CMakeFiles/substrate_test.dir/substrate_test.cpp.o.d"
+  "substrate_test"
+  "substrate_test.pdb"
+  "substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
