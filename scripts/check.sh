@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Pre-merge gate for ulsocks (see DESIGN.md "Correctness tooling"):
+#   1. Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
+#      full ctest suite (protocol invariant checkers are always on).
+#   2. clang-tidy over src/ with the repo's .clang-tidy profile
+#      (skipped with a warning if clang-tidy is not installed).
+#   3. The coroutine-capture lint (scripts/lint_coro_captures.py).
+#
+# Usage: scripts/check.sh [build-dir]      (default: build-check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/3] Debug + ASan/UBSan build and test"
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DULSOCKS_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$JOBS"
+# halt_on_error makes any sanitizer report fail the test that produced it.
+ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "==> [2/3] clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "${SOURCES[@]}"
+  else
+    clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"
+  fi
+else
+  echo "WARNING: clang-tidy not installed; skipping static analysis" >&2
+fi
+
+echo "==> [3/3] coroutine-capture lint"
+python3 scripts/lint_coro_captures.py src
+
+echo "==> all checks passed"

@@ -1,0 +1,41 @@
+#include "check/invariant.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace ulsocks::check {
+
+std::string msgf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return fmt;
+  }
+  std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+  std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+  va_end(args_copy);
+  return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+void invariant_failed(const char* condition, const char* file, int line,
+                      const std::string& message) {
+  std::string what = "invariant violated: (";
+  what += condition;
+  what += ") at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!message.empty()) {
+    what += ": ";
+    what += message;
+  }
+  throw InvariantError(what);
+}
+
+}  // namespace ulsocks::check

@@ -1,0 +1,46 @@
+// Always-on protocol invariants.
+//
+// The paper's results hinge on protocol state machines being exactly right:
+// EMP credit accounting (N credits backed by 2N pre-posted descriptors,
+// §6.1), descriptor tag-matching, and cumulative-ACK reliability.  A plain
+// assert() guards none of that in the default Release build.  The
+// ULSOCKS_INVARIANT macro is active in every build type and throws
+// InvariantError with the failed condition, source location and a
+// caller-supplied context message, so a violated protocol invariant stops
+// the run loudly instead of silently corrupting a result.
+//
+// The message argument is evaluated only on failure; use check::msgf() to
+// format state values into it without paying for the formatting on the
+// (always-taken) success path.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ulsocks::check {
+
+/// Thrown when an ULSOCKS_INVARIANT fails.  what() carries the condition
+/// text, source location and context message.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// printf-style formatter for invariant context messages.
+[[nodiscard]] std::string msgf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Builds the full diagnostic and throws InvariantError.
+[[noreturn]] void invariant_failed(const char* condition, const char* file,
+                                   int line, const std::string& message);
+
+}  // namespace ulsocks::check
+
+/// Check `cond` in every build type; on failure throw
+/// check::InvariantError carrying `msg` (evaluated lazily).
+#define ULSOCKS_INVARIANT(cond, msg)                                         \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::ulsocks::check::invariant_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                        \
+  } while (0)

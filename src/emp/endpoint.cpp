@@ -1,9 +1,9 @@
 #include "emp/endpoint.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
+#include "check/invariant.hpp"
 #include "sim/trace.hpp"
 
 namespace ulsocks::emp {
@@ -26,9 +26,74 @@ EmpEndpoint::EmpEndpoint(sim::Engine& eng, const sim::CostModel& model,
       host_cpu_(host_cpu),
       self_(self),
       resolve_(std::move(resolve)),
-      config_(config) {
+      config_(config),
+      inv_check_(eng.checks(), "emp.endpoint",
+                 [this] { check_invariants(); }) {
   nic_.set_rx_handler(net::EtherType::kEmp,
                       [this](net::FramePtr f) { on_frame(std::move(f)); });
+}
+
+void EmpEndpoint::check_invariants() const {
+  // Reliability: a send still pending has neither finished nor failed, its
+  // cumulative-ACK progress never exceeds the frames that exist, and the
+  // give-up counter is within its configured bound.
+  for (const auto& [id, st] : pending_sends_) {
+    ULSOCKS_INVARIANT(
+        !st->acked_done && !st->failed,
+        check::msgf("node%u msg=%u finished send still pending", self_, id));
+    ULSOCKS_INVARIANT(
+        st->acked_frames <= st->total_frames,
+        check::msgf("node%u msg=%u acked %u of %u frames", self_, id,
+                    st->acked_frames, st->total_frames));
+    ULSOCKS_INVARIANT(
+        st->retries <= config_.max_retries,
+        check::msgf("node%u msg=%u retries=%u > max=%u", self_, id,
+                    st->retries, config_.max_retries));
+  }
+  // Receive bindings: every in-flight message is homed in exactly one
+  // descriptor or unexpected entry, with per-frame accounting in bounds.
+  for (const auto& [key, b] : bound_) {
+    ULSOCKS_INVARIANT(
+        (b.recv != nullptr) != (b.unexpected != nullptr),
+        check::msgf("node%u binding %llx must have exactly one home", self_,
+                    static_cast<unsigned long long>(key)));
+    if (b.recv) {
+      ULSOCKS_INVARIANT(
+          b.recv->bound,
+          check::msgf("node%u bound map points at unbound descriptor",
+                      self_));
+      ULSOCKS_INVARIANT(
+          b.recv->frames_received <= b.recv->total_frames &&
+              b.recv->frames_landed <= b.recv->total_frames,
+          check::msgf("node%u msg from=%u frame accounting out of bounds: "
+                      "received=%u landed=%u total=%u",
+                      self_, b.recv->from, b.recv->frames_received,
+                      b.recv->frames_landed, b.recv->total_frames));
+    }
+  }
+  for (const auto* u : unexpected_ready_) {
+    ULSOCKS_INVARIANT(
+        u->bound && u->ready,
+        check::msgf("node%u unexpected-ready entry not bound+ready", self_));
+  }
+  // Translation cache: map and LRU list describe the same set, and the
+  // eviction policy keeps it within capacity.
+  ULSOCKS_INVARIANT(
+      pin_map_.size() == pin_lru_.size(),
+      check::msgf("node%u translation cache map/LRU diverged: %zu != %zu",
+                  self_, pin_map_.size(), pin_lru_.size()));
+  ULSOCKS_INVARIANT(
+      pin_lru_.size() <= config_.translation_cache_capacity,
+      check::msgf("node%u translation cache over capacity: %zu > %zu", self_,
+                  pin_lru_.size(), config_.translation_cache_capacity));
+  // Duplicate-suppression history is bounded and consistent.
+  ULSOCKS_INVARIANT(
+      completed_history_.size() == completed_order_.size() &&
+          completed_history_.size() <= config_.completed_history,
+      check::msgf("node%u completed history out of bounds: map=%zu order=%zu "
+                  "cap=%zu",
+                  self_, completed_history_.size(), completed_order_.size(),
+                  config_.completed_history));
 }
 
 // ---------------------------------------------------------------------------
@@ -65,7 +130,10 @@ sim::Task<SendHandle> EmpEndpoint::post_send(
   st->data.assign(data.begin(), data.end());
   st->total_frames = frames_for(static_cast<std::uint32_t>(data.size()),
                                 model_.wire.mtu);
-  assert(st->total_frames <= kMaxFramesPerMessage);
+  ULSOCKS_INVARIANT(
+      st->total_frames <= kMaxFramesPerMessage,
+      check::msgf("message of %zu bytes exceeds the 16-bit frame count",
+                  data.size()));
   pending_sends_[st->msg_id] = st;
   ++stats_.sends_posted;
 

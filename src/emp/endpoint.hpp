@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/registry.hpp"
 #include "emp/wire.hpp"
 #include "nic/nic_device.hpp"
 #include "sim/cost_model.hpp"
@@ -230,6 +231,11 @@ class EmpEndpoint {
     return pending_sends_.size();
   }
 
+  /// Cross-layer invariants: in-flight-frame / cumulative-ACK consistency,
+  /// receive-binding consistency, translation-cache and history bounds.
+  /// Registered with the engine's checker registry at construction.
+  void check_invariants() const;
+
  private:
   struct UnexpectedEntry {
     std::vector<std::uint8_t> buffer;
@@ -323,6 +329,9 @@ class EmpEndpoint {
   // Host-side translation cache (LRU over region base addresses).
   std::list<const void*> pin_lru_;
   std::unordered_map<const void*, std::list<const void*>::iterator> pin_map_;
+
+  // Last member: deregisters before the state it inspects is torn down.
+  check::ScopedChecker inv_check_;
 };
 
 }  // namespace ulsocks::emp

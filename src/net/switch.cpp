@@ -1,12 +1,15 @@
 #include "net/switch.hpp"
 
-#include <cassert>
+#include "check/invariant.hpp"
 
 namespace ulsocks::net {
 
 EthernetSwitch::EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
                                std::size_t port_count)
-    : eng_(eng), wire_(wire) {
+    : eng_(eng),
+      wire_(wire),
+      inv_check_(eng.checks(), "net.switch",
+                 [this] { check_invariants(); }) {
   ports_.reserve(port_count);
   for (std::size_t i = 0; i < port_count; ++i) {
     auto port = std::make_unique<Port>();
@@ -16,8 +19,36 @@ EthernetSwitch::EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
   }
 }
 
+void EthernetSwitch::check_invariants() const {
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    const Port& port = *ports_[p];
+    std::uint64_t bytes = 0;
+    for (const auto& f : port.queue) bytes += f->wire_bytes();
+    ULSOCKS_INVARIANT(
+        bytes == port.queued_bytes,
+        check::msgf("port %zu queue accounting diverged: counted=%llu "
+                    "recorded=%llu",
+                    p, static_cast<unsigned long long>(bytes),
+                    static_cast<unsigned long long>(port.queued_bytes)));
+    ULSOCKS_INVARIANT(
+        port.queued_bytes <= wire_.switch_port_buffer_bytes,
+        check::msgf("port %zu egress buffer over bound: %llu > %llu", p,
+                    static_cast<unsigned long long>(port.queued_bytes),
+                    static_cast<unsigned long long>(
+                        wire_.switch_port_buffer_bytes)));
+  }
+  for (const auto& [mac, port] : table_) {
+    ULSOCKS_INVARIANT(
+        port < ports_.size(),
+        check::msgf("learning table names port %zu of %zu", port,
+                    ports_.size()));
+  }
+}
+
 void EthernetSwitch::connect(std::size_t port, Link& link, Link::Side side) {
-  assert(port < ports_.size());
+  ULSOCKS_INVARIANT(port < ports_.size(),
+                    check::msgf("connect to port %zu of %zu", port,
+                                ports_.size()));
   ports_[port]->link = &link;
   ports_[port]->side = side;
   link.attach(side, &ports_[port]->sink);

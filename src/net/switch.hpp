@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/registry.hpp"
 #include "net/frame.hpp"
 #include "net/link.hpp"
 #include "sim/cost_model.hpp"
@@ -35,6 +36,12 @@ class EthernetSwitch {
   [[nodiscard]] std::uint64_t frames_flooded() const { return flooded_; }
   [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
   [[nodiscard]] std::size_t learned_macs() const { return table_.size(); }
+
+  /// Cross-layer invariants: per-port byte accounting matches the queued
+  /// frames and respects the drop-tail buffer bound; the learning table
+  /// only names real ports.  Registered with the engine's checker
+  /// registry at construction.
+  void check_invariants() const;
 
  private:
   struct Port;
@@ -68,6 +75,9 @@ class EthernetSwitch {
   std::uint64_t forwarded_ = 0;
   std::uint64_t flooded_ = 0;
   std::uint64_t dropped_ = 0;
+
+  // Last member: deregisters before the state it inspects is torn down.
+  check::ScopedChecker inv_check_;
 };
 
 }  // namespace ulsocks::net

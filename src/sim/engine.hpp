@@ -11,7 +11,6 @@
 // events, never inline, so causality always follows queue order.
 #pragma once
 
-#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -20,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant.hpp"
+#include "check/registry.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -47,9 +48,15 @@ class Engine {
     return events_executed_;
   }
 
-  /// Schedule `fn` to run at absolute time `t` (>= now()).
+  /// Schedule `fn` to run at absolute time `t` (>= now()).  Scheduling in
+  /// the past would break causality (and, silently, determinism), so the
+  /// check is an always-on invariant rather than a compiled-out assert.
   void schedule_at(Time t, std::function<void()> fn) {
-    assert(t >= now_);
+    ULSOCKS_INVARIANT(
+        t >= now_,
+        check::msgf("schedule_at in the past: t=%llu < now=%llu",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(now_)));
     queue_.push(Event{t, next_seq_++, std::move(fn)});
   }
 
@@ -64,7 +71,7 @@ class Engine {
   void spawn(Task<void> process) {
     roots_.push_back(wrap_root(std::move(process)));
     auto h = roots_.back().handle();
-    schedule_at(now_, [h] { h.resume(); });
+    schedule_at(now_, [h] { detail::resume_chain(h); });
     maybe_reap();
   }
 
@@ -75,7 +82,7 @@ class Engine {
       Duration dt;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) const {
-        eng->schedule_after(dt, [h] { h.resume(); });
+        eng->schedule_after(dt, [h] { detail::resume_chain(h); });
       }
       void await_resume() const noexcept {}
     };
@@ -126,6 +133,27 @@ class Engine {
   /// tests to inject failures).
   void set_error(std::exception_ptr e) noexcept { root_error_ = e; }
 
+  /// Per-run event digest: (time, sequence, count) of every executed event
+  /// folded into 64 bits.  Two runs of the same seeded workload must
+  /// produce identical digests — the determinism self-check the ROADMAP
+  /// tier-1 gate depends on (tests/determinism_test.cpp).
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  /// Cross-layer invariant checkers (see check/registry.hpp).  Protocol
+  /// objects register themselves here; the engine sweeps the registry
+  /// every `check_interval()` events and lets violations propagate out of
+  /// run() as check::InvariantError.
+  [[nodiscard]] check::Registry& checks() noexcept { return checks_; }
+
+  /// Events between checker sweeps; 0 disables sweeping entirely.  Tests
+  /// set 1 to catch corruption on the very next event.
+  void set_check_interval(std::uint64_t every_n_events) noexcept {
+    check_interval_ = every_n_events;
+  }
+  [[nodiscard]] std::uint64_t check_interval() const noexcept {
+    return check_interval_;
+  }
+
  private:
   struct Event {
     Time t;
@@ -138,17 +166,35 @@ class Engine {
     }
   };
 
+  // splitmix64 finalizer: cheap, well-mixed fold for the event digest.
+  static constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
   void step() {
     // priority_queue::top() is const; move out via const_cast, which is
     // safe because pop() immediately removes the moved-from element.
     auto& top = const_cast<Event&>(queue_.top());
     Time t = top.t;
+    std::uint64_t seq = top.seq;
     auto fn = std::move(top.fn);
     queue_.pop();
-    assert(t >= now_);
+    ULSOCKS_INVARIANT(
+        t >= now_,
+        check::msgf("event time went backwards: t=%llu < now=%llu",
+                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(now_)));
     now_ = t;
     ++events_executed_;
+    digest_ = mix64(digest_ ^ t);
+    digest_ = mix64(digest_ ^ seq);
     fn();
+    if (check_interval_ != 0 && events_executed_ % check_interval_ == 0) {
+      checks_.run_all();
+    }
   }
 
   Task<void> wrap_root(Task<void> process) {
@@ -168,6 +214,9 @@ class Engine {
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // pi, arbitrary non-zero
+  std::uint64_t check_interval_ = 1024;
+  check::Registry checks_;
   bool stop_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Task<void>> roots_;

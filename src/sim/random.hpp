@@ -5,9 +5,10 @@
 // are reproducible and failures can be replayed from a seed.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <random>
+
+#include "check/invariant.hpp"
 
 namespace ulsocks::sim {
 
@@ -19,7 +20,7 @@ class Rng {
 
   /// Uniform integer in [lo, hi] (inclusive).
   std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
-    assert(lo <= hi);
+    ULSOCKS_INVARIANT(lo <= hi, "uniform(): empty range");
     return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
   }
 

@@ -52,7 +52,7 @@ class CondVar {
 
   void notify_all() {
     for (auto h : waiters_) {
-      eng_->schedule_at(eng_->now(), [h] { h.resume(); });
+      eng_->schedule_at(eng_->now(), [h] { detail::resume_chain(h); });
     }
     waiters_.clear();
   }
@@ -61,7 +61,7 @@ class CondVar {
     if (waiters_.empty()) return;
     auto h = waiters_.front();
     waiters_.erase(waiters_.begin());
-    eng_->schedule_at(eng_->now(), [h] { h.resume(); });
+    eng_->schedule_at(eng_->now(), [h] { detail::resume_chain(h); });
   }
 
   [[nodiscard]] std::size_t waiter_count() const noexcept {

@@ -2,9 +2,9 @@
 //
 // A `Task<T>` is the return type of every coroutine in the simulation:
 // application processes, protocol handlers, NIC firmware loops.  Tasks are
-// lazy (they do not run until awaited or spawned on the Engine), support
-// symmetric transfer so arbitrarily deep call chains use O(1) stack, and
-// propagate exceptions to their awaiter.
+// lazy (they do not run until awaited or spawned on the Engine), run
+// arbitrarily deep call chains in O(1) native stack via the resume
+// trampoline below, and propagate exceptions to their awaiter.
 //
 // The whole simulation is single-threaded; no synchronization is needed.
 #pragma once
@@ -22,6 +22,44 @@ class Task;
 
 namespace detail {
 
+// Stack-safe resume loop ("trampoline").  Classic symmetric transfer —
+// returning the next coroutine's handle from await_suspend — is only O(1)
+// stack if the compiler turns the transfer into a genuine tail call, and
+// GCC does not under -fsanitize=address, so a deep task chain would
+// overflow the native stack in exactly the sanitized builds the pre-merge
+// gate runs.  Instead awaiters *post* the next coroutine to the innermost
+// active chain slot and this loop resumes it, making stack safety a
+// runtime property rather than an optimizer one.
+inline thread_local std::coroutine_handle<>* active_chain = nullptr;
+
+inline void resume_chain(std::coroutine_handle<> first) {
+  std::coroutine_handle<> next{};
+  auto* const saved = active_chain;
+  active_chain = &next;
+  try {
+    auto h = first;
+    while (h) {
+      next = {};
+      h.resume();
+      h = next;  // whatever the slice's suspension posted, if anything
+    }
+  } catch (...) {
+    active_chain = saved;
+    throw;
+  }
+  active_chain = saved;
+}
+
+// Hand `h` to the innermost running chain loop; a raw `.resume()` from
+// outside the engine has no active loop, so start one here.
+inline void post_next(std::coroutine_handle<> h) {
+  if (active_chain) {
+    *active_chain = h;
+  } else {
+    resume_chain(h);
+  }
+}
+
 struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
@@ -29,12 +67,10 @@ struct PromiseBase {
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
     template <class P>
-    std::coroutine_handle<> await_suspend(
-        std::coroutine_handle<P> h) noexcept {
+    void await_suspend(std::coroutine_handle<P> h) noexcept {
       // Resume whoever was awaiting us; if detached, park forever (the
       // owning Task destroys the frame).
-      if (auto cont = h.promise().continuation) return cont;
-      return std::noop_coroutine();
+      if (auto cont = h.promise().continuation) post_next(cont);
     }
     void await_resume() const noexcept {}
   };
@@ -95,10 +131,9 @@ class [[nodiscard]] Task {
     struct Awaiter {
       Handle h;
       bool await_ready() const noexcept { return !h || h.done(); }
-      std::coroutine_handle<> await_suspend(
-          std::coroutine_handle<> cont) const noexcept {
+      void await_suspend(std::coroutine_handle<> cont) const noexcept {
         h.promise().continuation = cont;
-        return h;  // symmetric transfer: run the child now
+        detail::post_next(h);  // run the child now, via the trampoline
       }
       T await_resume() const {
         auto& p = h.promise();

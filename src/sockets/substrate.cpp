@@ -1,9 +1,9 @@
 #include "sockets/substrate.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 
+#include "check/invariant.hpp"
 #include "sim/trace.hpp"
 
 namespace ulsocks::sockets {
@@ -26,9 +26,53 @@ EmpSocketStack::EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
       host_(host),
       ep_(ep),
       default_cfg_(default_config),
-      activity_(eng) {
+      activity_(eng),
+      inv_check_(eng.checks(), "sockets.substrate",
+                 [this] { check_invariants(); }) {
   // Every EMP completion wakes whatever substrate call is blocked.
   ep_.set_completion_hook([this] { activity_.notify_all(); });
+}
+
+void EmpSocketStack::check_invariants() const {
+  for (const auto& [sd, s] : socks_) {
+    if (s->state != Sock::State::kConnected || s->terminated) continue;
+    // Credit conservation (§6.1): the peer only returns credits for
+    // messages it consumed, so the credits we hold can never exceed the
+    // window negotiated at connect time.
+    ULSOCKS_INVARIANT(
+        s->send_credits <= s->cfg.credits,
+        check::msgf("sd=%d credit conservation violated: send_credits=%u > "
+                    "credits=%u",
+                    sd, s->send_credits, s->cfg.credits));
+    // Consumed-but-unacknowledged messages are bounded by the window too:
+    // the peer cannot have more messages outstanding than it had credits.
+    ULSOCKS_INVARIANT(
+        s->consumed_unacked <= s->cfg.credits,
+        check::msgf("sd=%d consumed_unacked=%u > credits=%u", sd,
+                    s->consumed_unacked, s->cfg.credits));
+    // Descriptor-count bounds: N data descriptors and the configured
+    // control-descriptor layout ("2N", §6.1) are ceilings, never exceeded.
+    std::uint32_t max_data = s->cfg.data_streaming ? s->cfg.credits : 0;
+    ULSOCKS_INVARIANT(
+        s->data_slots.size() <= max_data,
+        check::msgf("sd=%d data descriptor bound violated: %zu > %u", sd,
+                    s->data_slots.size(), max_data));
+    ULSOCKS_INVARIANT(
+        s->ctrl_slots.size() <= s->cfg.ctrl_descriptors(),
+        check::msgf("sd=%d ctrl descriptor bound violated: %zu > %u", sd,
+                    s->ctrl_slots.size(), s->cfg.ctrl_descriptors()));
+    ULSOCKS_INVARIANT(
+        s->cfg.credits == 0 || s->staging_next < s->cfg.credits,
+        check::msgf("sd=%d staging ring index %u out of bounds (credits=%u)",
+                    sd, s->staging_next, s->cfg.credits));
+    // Close accounting (§5.3): the counted close message bounds how many
+    // messages we may consume from the peer.
+    ULSOCKS_INVARIANT(
+        !s->peer_closed || s->data_msgs_consumed <= s->peer_msgs_total,
+        check::msgf("sd=%d consumed %llu messages but peer sent %llu", sd,
+                    static_cast<unsigned long long>(s->data_msgs_consumed),
+                    static_cast<unsigned long long>(s->peer_msgs_total)));
+  }
 }
 
 EmpSocketStack::SockPtr& EmpSocketStack::sock(int sd) {
@@ -70,7 +114,13 @@ emp::Tag EmpSocketStack::alloc_tags(TagRole role) {
       next_local_base_ = static_cast<emp::Tag>(next_local_base_ + 3);
       return t;
     }
-    assert(!free_local_bases_.empty() && "local tag space exhausted");
+    if (free_local_bases_.empty()) {
+      // Tag exhaustion must fail loudly (a compiled-out assert here would
+      // hand out colliding tags and corrupt live connections).
+      throw SocketError(SockErr::kNoResources,
+                        "local tag space exhausted: too many concurrent "
+                        "connections");
+    }
     emp::Tag t = free_local_bases_.front();
     free_local_bases_.pop_front();
     return t;
@@ -80,7 +130,11 @@ emp::Tag EmpSocketStack::alloc_tags(TagRole role) {
     next_remote_base_ = static_cast<emp::Tag>(next_remote_base_ + 3);
     return t;
   }
-  assert(!free_remote_bases_.empty() && "remote tag space exhausted");
+  if (free_remote_bases_.empty()) {
+    throw SocketError(SockErr::kNoResources,
+                      "remote tag space exhausted: too many concurrent "
+                      "connections");
+  }
   emp::Tag t = free_remote_bases_.front();
   free_remote_bases_.pop_front();
   return t;

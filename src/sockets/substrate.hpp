@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/registry.hpp"
 #include "emp/endpoint.hpp"
 #include "oskernel/host.hpp"
 #include "oskernel/socket_api.hpp"
@@ -72,6 +73,11 @@ class EmpSocketStack final : public os::SocketApi {
     return socks_.size();
   }
   [[nodiscard]] emp::EmpEndpoint& endpoint() noexcept { return ep_; }
+
+  /// Cross-layer invariants (§6.1 credit conservation, descriptor-count
+  /// bounds, close accounting).  Registered with the engine's checker
+  /// registry at construction; throws check::InvariantError on violation.
+  void check_invariants() const;
 
  private:
   /// One pre-posted receive descriptor plus its temporary buffer (a view
@@ -201,6 +207,9 @@ class EmpSocketStack final : public os::SocketApi {
   [[nodiscard]] std::vector<std::uint8_t> get_arena(std::size_t bytes);
   void release_arena(std::vector<std::uint8_t> arena);
   std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> arena_pool_;
+
+  // Last member: deregisters before the state it inspects is torn down.
+  check::ScopedChecker inv_check_;
 };
 
 }  // namespace ulsocks::sockets
