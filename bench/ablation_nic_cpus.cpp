@@ -9,32 +9,41 @@
 #include "harness.hpp"
 #include "sim/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulsocks;
   using namespace ulsocks::bench;
 
-  auto cfg = sockets::preset_ds_da_uq();
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  const std::size_t total = opt.iters > 0 ? (1ul << 20) : (16ul << 20);
 
+  const auto sub = StackChoice::substrate(sockets::preset("ds_da_uq"));
+  const auto emp = StackChoice::raw_emp();
+
+  BenchResults results("ablation_nic_cpus",
+                       "Dual vs single NIC firmware CPU");
   std::printf("Ablation: dual vs single NIC firmware CPU\n\n");
   sim::ResultTable table({"metric", "dual_cpu", "single_cpu"});
 
-  double lat_dual =
-      measure_latency_us_nic(substrate_choice(cfg), 4, /*dual=*/true);
-  double lat_single =
-      measure_latency_us_nic(substrate_choice(cfg), 4, /*dual=*/false);
+  double lat_dual = measure_latency_us_nic(sub, 4, /*dual=*/true);
+  results.add("latency_4B", sub, "dual", lat_dual, "us");
+  double lat_single = measure_latency_us_nic(sub, 4, /*dual=*/false);
+  results.add("latency_4B", sub, "single", lat_single, "us");
   table.add_row({"latency_4B_us", sim::ResultTable::num(lat_dual, 1),
                  sim::ResultTable::num(lat_single, 1)});
 
-  constexpr std::size_t kTotal = 16ul << 20;
-  double bw_dual = measure_bandwidth_mbps_nic(substrate_choice(cfg), 65536,
-                                              kTotal, /*dual=*/true);
-  double bw_single = measure_bandwidth_mbps_nic(substrate_choice(cfg), 65536,
-                                                kTotal, /*dual=*/false);
+  double bw_dual = measure_bandwidth_mbps_nic(sub, 65536, total,
+                                              /*dual=*/true);
+  results.add("stream_bw", sub, "dual", bw_dual, "mbps");
+  double bw_single = measure_bandwidth_mbps_nic(sub, 65536, total,
+                                                /*dual=*/false);
+  results.add("stream_bw", sub, "single", bw_single, "mbps");
   table.add_row({"stream_mbps", sim::ResultTable::num(bw_dual, 0),
                  sim::ResultTable::num(bw_single, 0)});
 
-  double emp_dual = measure_latency_us_nic(raw_emp_choice(), 4, true);
-  double emp_single = measure_latency_us_nic(raw_emp_choice(), 4, false);
+  double emp_dual = measure_latency_us_nic(emp, 4, true);
+  results.add("raw_emp_latency", emp, "dual", emp_dual, "us");
+  double emp_single = measure_latency_us_nic(emp, 4, false);
+  results.add("raw_emp_latency", emp, "single", emp_single, "us");
   table.add_row({"raw_emp_latency_us", sim::ResultTable::num(emp_dual, 1),
                  sim::ResultTable::num(emp_single, 1)});
 
@@ -43,5 +52,6 @@ int main() {
       "\nexpected: streaming bandwidth drops hardest in single-CPU mode — "
       "the\nreceive path's per-frame work no longer overlaps ack "
       "generation\n");
+  results.write(opt.out_dir);
   return 0;
 }

@@ -10,17 +10,22 @@
 #include "harness.hpp"
 #include "sim/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulsocks;
   using namespace ulsocks::bench;
 
+  const BenchOptions opt = parse_bench_args(argc, argv);
+
   std::printf("Ablation: tag-matching walk cost (4-byte one-way, us)\n\n");
 
+  BenchResults results("ablation_tagmatch",
+                       "NIC tag-matching walk cost (4-byte one-way, us)");
   double base = measure_latency_with_extra_descriptors_us(0);
   sim::ResultTable table(
       {"extra_descriptors", "latency_us", "delta_us", "ns_per_descriptor"});
   for (std::size_t extra : {0ul, 4ul, 8ul, 16ul, 32ul, 64ul, 128ul}) {
     double lat = measure_latency_with_extra_descriptors_us(extra);
+    results.add("latency", "emp", "raw", std::to_string(extra), lat, "us");
     double delta = lat - base;
     // The fillers sit on one side only, so the walk happens once per round
     // trip; one-way latency carries half of it.
@@ -31,5 +36,6 @@ int main() {
   }
   table.print();
   std::printf("\npaper: ~550 ns per walked descriptor\n");
+  results.write(opt.out_dir);
   return 0;
 }

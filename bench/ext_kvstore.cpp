@@ -3,6 +3,7 @@
 // mix, substrate vs kernel TCP — the workload the paper planned to carry
 // to commercial data centers.
 #include <cstdio>
+#include <map>
 
 #include "apps/cluster.hpp"
 #include "apps/kvstore.hpp"
@@ -17,12 +18,13 @@ namespace {
 struct KvResult {
   double mean_us = 0;
   double kops = 0;
+  std::map<std::string, std::int64_t> metrics;
 };
 
 KvResult run_kv(apps::Cluster::StackKind kind, std::size_t value_bytes,
                 std::size_t ops) {
   sim::Engine eng;
-  sockets::SubstrateConfig cfg = sockets::preset_ds_da_uq();
+  sockets::SubstrateConfig cfg = sockets::preset("ds_da_uq").cfg;
   apps::Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg);
   KvResult result;
 
@@ -60,20 +62,36 @@ KvResult run_kv(apps::Cluster::StackKind kind, std::size_t value_bytes,
   eng.spawn(server());
   eng.spawn(client());
   eng.run();
+  result.metrics = eng.metrics().snapshot();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using bench::BenchOptions;
+  using bench::BenchResults;
+
+  const BenchOptions opt = bench::parse_bench_args(argc, argv);
+  const std::size_t ops = opt.iters > 0
+                              ? static_cast<std::size_t>(opt.iters)
+                              : 400;
+
   std::printf(
       "Extension: key-value store (the paper's data-center future work)\n"
       "GET-heavy 4:1 mix over one persistent connection\n\n");
+  BenchResults results("ext_kvstore",
+                       "Key-value store, GET-heavy 4:1 mix");
   sim::ResultTable table({"value", "sub_us/op", "sub_kops", "tcp_us/op",
                           "tcp_kops", "speedup"});
   for (std::size_t bytes : {64ul, 1024ul, 8192ul}) {
-    auto sub = run_kv(apps::Cluster::StackKind::kSubstrate, bytes, 400);
-    auto tcp = run_kv(apps::Cluster::StackKind::kTcp, bytes, 400);
+    auto sub = run_kv(apps::Cluster::StackKind::kSubstrate, bytes, ops);
+    results.add("Substrate", "substrate", "DS + Delayed Acks + UQ",
+                bench::size_label(bytes), sub.mean_us, "us",
+                std::move(sub.metrics));
+    auto tcp = run_kv(apps::Cluster::StackKind::kTcp, bytes, ops);
+    results.add("TCP", "tcp", "default", bench::size_label(bytes),
+                tcp.mean_us, "us", std::move(tcp.metrics));
     table.add_row({bench::size_label(bytes),
                    sim::ResultTable::num(sub.mean_us, 1),
                    sim::ResultTable::num(sub.kops, 1),
@@ -86,5 +104,6 @@ int main() {
       "\nexpected: request-response traffic inherits the latency win "
       "(~3-4x),\nthe gap shrinking as values grow toward bandwidth-bound "
       "sizes\n");
+  results.write(opt.out_dir);
   return 0;
 }

@@ -10,38 +10,48 @@
 // Paper reference points at 4 bytes: EMP ~28 us, DG ~28.5 us, DS_DA_UQ
 // ~37 us, with plain DS clearly above DS_DA above DS_DA_UQ.
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "harness.hpp"
 #include "sim/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulsocks;
   using namespace ulsocks::bench;
+
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  const int iters = opt.iters_or(50);
 
   std::printf("Figure 11: substrate latency by enhancement (one-way, us)\n");
   std::printf("credits=32, 64KB temporary buffers, 4-node-testbed model\n\n");
 
+  const StackChoice stacks[] = {
+      StackChoice::substrate(sockets::preset("ds")),
+      StackChoice::substrate(sockets::preset("ds_da")),
+      StackChoice::substrate(sockets::preset("ds_da_uq")),
+      StackChoice::substrate(sockets::preset("dg")),
+      StackChoice::raw_emp(),
+  };
+  const char* series[] = {"DS", "DS_DA", "DS_DA_UQ", "DG", "raw_EMP"};
+
+  BenchResults results("fig11_latency",
+                       "Substrate latency by enhancement (one-way, us)");
   const std::size_t sizes[] = {4, 64, 256, 1024, 4096};
   sim::ResultTable table(
       {"size", "DS", "DS_DA", "DS_DA_UQ", "DG", "raw_EMP"});
   for (std::size_t size : sizes) {
-    double ds = measure_latency_us(
-        substrate_choice(sockets::preset_ds()), size);
-    double ds_da = measure_latency_us(
-        substrate_choice(sockets::preset_ds_da()), size);
-    double ds_da_uq = measure_latency_us(
-        substrate_choice(sockets::preset_ds_da_uq()), size);
-    double dg = measure_latency_us(substrate_choice(sockets::preset_dg()),
-                                   size);
-    double emp = measure_latency_us(raw_emp_choice(), size);
-    table.add_row({size_label(size), sim::ResultTable::num(ds, 1),
-                   sim::ResultTable::num(ds_da, 1),
-                   sim::ResultTable::num(ds_da_uq, 1),
-                   sim::ResultTable::num(dg, 1),
-                   sim::ResultTable::num(emp, 1)});
+    std::vector<std::string> row{size_label(size)};
+    for (std::size_t s = 0; s < std::size(stacks); ++s) {
+      double us = measure_latency_us(stacks[s], size, iters);
+      results.add(series[s], stacks[s], size_label(size), us, "us");
+      row.push_back(sim::ResultTable::num(us, 1));
+    }
+    table.add_row(row);
   }
   table.print();
   std::printf(
       "\npaper (4B): DS > DS_DA > DS_DA_UQ ~= 37, DG ~= 28.5, EMP ~= 28\n");
+  results.write(opt.out_dir);
   return 0;
 }

@@ -12,24 +12,39 @@
 #include "harness.hpp"
 #include "sim/stats.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ulsocks;
   using namespace ulsocks::bench;
+
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  const int iters = opt.iters_or(50);
+  // Smoke runs (--iters N) also shrink the per-point transfer so the
+  // bandwidth half finishes quickly.
+  const std::size_t total = opt.iters > 0 ? (1ul << 20) : (24ul << 20);
+
+  BenchResults results("fig13_microbench",
+                       "Substrate vs kernel TCP: latency and bandwidth");
+  const auto dg = StackChoice::substrate(sockets::preset("dg"));
+  const auto ds = StackChoice::substrate(sockets::preset("ds_da_uq"));
+  const auto tcp_def = StackChoice::tcp();
+  const auto tcp_tuned = StackChoice::tcp(262'144);
+  const auto emp = StackChoice::raw_emp();
 
   std::printf("Figure 13a: latency vs message size (one-way, us)\n\n");
   {
     sim::ResultTable table({"size", "Datagram", "DataStreaming", "TCP",
                             "TCP/DG"});
     for (std::size_t size : {4ul, 64ul, 256ul, 1024ul, 4096ul}) {
-      double dg = measure_latency_us(substrate_choice(sockets::preset_dg()),
-                                     size);
-      double ds = measure_latency_us(
-          substrate_choice(sockets::preset_ds_da_uq()), size);
-      double tcp = measure_latency_us(tcp_choice(), size);
-      table.add_row({size_label(size), sim::ResultTable::num(dg, 1),
-                     sim::ResultTable::num(ds, 1),
-                     sim::ResultTable::num(tcp, 1),
-                     sim::ResultTable::num(tcp / dg, 1)});
+      double lat_dg = measure_latency_us(dg, size, iters);
+      results.add("Datagram", dg, size_label(size), lat_dg, "us");
+      double lat_ds = measure_latency_us(ds, size, iters);
+      results.add("DataStreaming", ds, size_label(size), lat_ds, "us");
+      double lat_tcp = measure_latency_us(tcp_def, size, iters);
+      results.add("TCP", tcp_def, size_label(size), lat_tcp, "us");
+      table.add_row({size_label(size), sim::ResultTable::num(lat_dg, 1),
+                     sim::ResultTable::num(lat_ds, 1),
+                     sim::ResultTable::num(lat_tcp, 1),
+                     sim::ResultTable::num(lat_tcp / lat_dg, 1)});
     }
     table.print();
     std::printf(
@@ -40,26 +55,30 @@ int main() {
   {
     sim::ResultTable table({"size", "Substrate_DS", "Datagram", "TCP_16K",
                             "TCP_tuned", "raw_EMP"});
-    constexpr std::size_t kTotal = 24ul << 20;  // 24 MB per point
     for (std::size_t size : {1024ul, 4096ul, 16384ul, 65536ul}) {
-      double ds = measure_bandwidth_mbps(
-          substrate_choice(sockets::preset_ds_da_uq()), size, kTotal);
-      double dg = measure_bandwidth_mbps(
-          substrate_choice(sockets::preset_dg()), size, kTotal);
-      double tcp_def = measure_bandwidth_mbps(tcp_choice(), size, kTotal);
-      double tcp_tuned =
-          measure_bandwidth_mbps(tcp_choice(262'144), size, kTotal);
-      double emp = measure_bandwidth_mbps(raw_emp_choice(), size, kTotal);
-      table.add_row({size_label(size), sim::ResultTable::num(ds, 0),
-                     sim::ResultTable::num(dg, 0),
-                     sim::ResultTable::num(tcp_def, 0),
-                     sim::ResultTable::num(tcp_tuned, 0),
-                     sim::ResultTable::num(emp, 0)});
+      double bw_ds = measure_bandwidth_mbps(ds, size, total);
+      results.add("bw_Substrate_DS", ds, size_label(size), bw_ds, "mbps");
+      double bw_dg = measure_bandwidth_mbps(dg, size, total);
+      results.add("bw_Datagram", dg, size_label(size), bw_dg, "mbps");
+      double bw_tcp_def = measure_bandwidth_mbps(tcp_def, size, total);
+      results.add("bw_TCP_16K", tcp_def, size_label(size), bw_tcp_def,
+                  "mbps");
+      double bw_tcp_tuned = measure_bandwidth_mbps(tcp_tuned, size, total);
+      results.add("bw_TCP_tuned", tcp_tuned, size_label(size), bw_tcp_tuned,
+                  "mbps");
+      double bw_emp = measure_bandwidth_mbps(emp, size, total);
+      results.add("bw_raw_EMP", emp, size_label(size), bw_emp, "mbps");
+      table.add_row({size_label(size), sim::ResultTable::num(bw_ds, 0),
+                     sim::ResultTable::num(bw_dg, 0),
+                     sim::ResultTable::num(bw_tcp_def, 0),
+                     sim::ResultTable::num(bw_tcp_tuned, 0),
+                     sim::ResultTable::num(bw_emp, 0)});
     }
     table.print();
     std::printf(
         "\npaper (peak): substrate ~840, TCP 340 (16K) / 550 (tuned), "
         "EMP ~880\n");
   }
+  results.write(opt.out_dir);
   return 0;
 }

@@ -1,11 +1,17 @@
 #include "harness.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
 
 #include "apps/ftp.hpp"
 #include "apps/httpd.hpp"
 #include "apps/matmul.hpp"
+#include "obs/timeline.hpp"
 
 namespace ulsocks::bench {
 
@@ -15,6 +21,33 @@ using os::SockAddr;
 using sim::Engine;
 
 constexpr std::uint16_t kPort = 5001;
+
+// Observability state shared by every measure_* routine: the registry
+// snapshot of the last completed run, and the (one-shot) armed trace path.
+std::map<std::string, std::int64_t> g_last_metrics;  // NOLINT
+std::string g_trace_path;                            // NOLINT
+
+/// Call before spawning workload coroutines: turns the tracer on when a
+/// trace export is armed, so the whole run is captured.
+void arm_run(Engine& eng) {
+  if (!g_trace_path.empty()) eng.tracer().set_enabled(true);
+}
+
+/// Call after eng.run(): snapshots the registry and flushes the armed
+/// trace export (first armed run only — later runs are untraced).
+void finish_run(Engine& eng) {
+  g_last_metrics = eng.metrics().snapshot();
+  if (!g_trace_path.empty()) {
+    if (!eng.tracer().export_chrome_json(g_trace_path)) {
+      std::fprintf(stderr, "warning: could not write trace to %s\n",
+                   g_trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace written to %s (load in chrome://tracing)\n",
+                   g_trace_path.c_str());
+    }
+    g_trace_path.clear();
+  }
+}
 
 std::vector<std::uint8_t> payload(std::size_t n) {
   std::vector<std::uint8_t> v(n);
@@ -27,17 +60,17 @@ std::vector<std::uint8_t> payload(std::size_t n) {
 /// Configure a TCP socket per the StackChoice.
 Task<void> apply_tcp_options(os::SocketApi& api, int sd,
                              const StackChoice& stack) {
-  if (stack.tcp_sockbuf > 0) {
-    co_await api.set_option(sd, os::SockOpt::kSndBuf, stack.tcp_sockbuf);
-    co_await api.set_option(sd, os::SockOpt::kRcvBuf, stack.tcp_sockbuf);
+  if (stack.tcp_sockbuf() > 0) {
+    co_await api.set_option(sd, os::SockOpt::kSndBuf, stack.tcp_sockbuf());
+    co_await api.set_option(sd, os::SockOpt::kRcvBuf, stack.tcp_sockbuf());
   }
-  if (stack.tcp_nodelay) {
+  if (stack.tcp_nodelay()) {
     co_await api.set_option(sd, os::SockOpt::kNoDelay, 1);
   }
 }
 
 os::SocketApi& pick(Cluster& cl, std::size_t node, const StackChoice& stack) {
-  return stack.kind == StackChoice::Kind::kTcp
+  return stack.kind() == StackChoice::Kind::kTcp
              ? static_cast<os::SocketApi&>(cl.node(node).tcp)
              : static_cast<os::SocketApi&>(cl.node(node).socks);
 }
@@ -74,17 +107,18 @@ double raw_emp_latency_us(std::size_t msg_bytes, int iters, int warmup,
     }
     one_way_us = sim::to_us(eng.now() - t0) / (2.0 * iters);
   };
+  arm_run(eng);
   eng.spawn(server());
   eng.spawn(client());
   eng.run();
+  finish_run(eng);
   return one_way_us;
 }
 
 double socket_latency_us(const StackChoice& stack, std::size_t msg_bytes,
                          int iters, int warmup, bool dual_cpu) {
   Engine eng;
-  sockets::SubstrateConfig cfg = stack.cfg;
-  Cluster cl(eng, sim::calibrated_cost_model(), 2, cfg, {}, dual_cpu);
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg(), {}, dual_cpu);
   auto msg = payload(msg_bytes);
   double one_way_us = 0;
 
@@ -119,9 +153,11 @@ double socket_latency_us(const StackChoice& stack, std::size_t msg_bytes,
     one_way_us = sim::to_us(eng.now() - t0) / (2.0 * iters);
     co_await api.close(s);
   };
+  arm_run(eng);
   eng.spawn(server());
   eng.spawn(client());
   eng.run();
+  finish_run(eng);
   return one_way_us;
 }
 
@@ -172,16 +208,18 @@ double raw_emp_bandwidth_mbps(std::size_t msg_bytes,
       inflight.pop_front();
     }
   };
+  arm_run(eng);
   eng.spawn(receiver());
   eng.spawn(sender());
   eng.run();
+  finish_run(eng);
   return mbps;
 }
 
 double socket_bandwidth_mbps(const StackChoice& stack, std::size_t msg_bytes,
                              std::size_t total_bytes, bool dual_cpu) {
   Engine eng;
-  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg, {}, dual_cpu);
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg(), {}, dual_cpu);
   auto chunk = payload(msg_bytes);
   double mbps = 0;
 
@@ -218,37 +256,172 @@ double socket_bandwidth_mbps(const StackChoice& stack, std::size_t msg_bytes,
     }
     co_await api.close(s);
   };
+  arm_run(eng);
   eng.spawn(receiver());
   eng.spawn(sender());
   eng.run();
+  finish_run(eng);
   return mbps;
+}
+
+/// Append a JSON-rendered double ("%.6g"; non-finite values become 0).
+void append_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", std::isfinite(v) ? v : 0.0);
+  out += buf;
 }
 
 }  // namespace
 
-StackChoice substrate_choice(sockets::SubstrateConfig cfg) {
+StackChoice StackChoice::substrate(const sockets::Preset& preset) {
   StackChoice s;
-  s.kind = StackChoice::Kind::kSubstrate;
-  s.cfg = cfg;
+  s.kind_ = Kind::kSubstrate;
+  s.cfg_ = preset.cfg;
+  s.name_ = "substrate";
+  s.label_ = std::string(preset.label);
   return s;
 }
 
-StackChoice tcp_choice(int sockbuf) {
+StackChoice StackChoice::substrate(sockets::SubstrateConfig cfg,
+                                   std::string label) {
   StackChoice s;
-  s.kind = StackChoice::Kind::kTcp;
-  s.tcp_sockbuf = sockbuf;
+  s.kind_ = Kind::kSubstrate;
+  s.cfg_ = cfg;
+  s.name_ = "substrate";
+  s.label_ = std::move(label);
   return s;
 }
 
-StackChoice raw_emp_choice() {
+StackChoice StackChoice::tcp(int sockbuf) {
   StackChoice s;
-  s.kind = StackChoice::Kind::kRawEmp;
+  s.kind_ = Kind::kTcp;
+  s.tcp_sockbuf_ = sockbuf;
+  s.name_ = "tcp";
+  s.label_ = sockbuf > 0 ? "sockbuf=" + std::to_string(sockbuf) : "default";
   return s;
+}
+
+StackChoice StackChoice::raw_emp() {
+  StackChoice s;
+  s.kind_ = Kind::kRawEmp;
+  s.name_ = "emp";
+  s.label_ = "raw";
+  return s;
+}
+
+const std::map<std::string, std::int64_t>& last_run_metrics() {
+  return g_last_metrics;
+}
+
+void set_trace_export(std::string path) { g_trace_path = std::move(path); }
+
+BenchOptions parse_bench_args(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--iters") {
+      opt.iters = std::atoi(value());
+    } else if (arg == "--trace") {
+      opt.trace_path = value();
+    } else if (arg == "--out") {
+      opt.out_dir = value();
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s [--iters N] [--trace FILE] [--out DIR]\n",
+                   argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown option %s (try --help)\n", argv[0],
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  if (!opt.trace_path.empty()) set_trace_export(opt.trace_path);
+  return opt;
+}
+
+BenchResults::BenchResults(std::string figure, std::string title)
+    : figure_(std::move(figure)), title_(std::move(title)) {}
+
+void BenchResults::add(std::string_view series, const StackChoice& stack,
+                       std::string_view x, double value,
+                       std::string_view unit) {
+  add(series, stack.name(), stack.config_label(), x, value, unit);
+}
+
+void BenchResults::add(std::string_view series, std::string_view stack_name,
+                       std::string_view config_label, std::string_view x,
+                       double value, std::string_view unit) {
+  add(series, stack_name, config_label, x, value, unit, g_last_metrics);
+}
+
+void BenchResults::add(std::string_view series, std::string_view stack_name,
+                       std::string_view config_label, std::string_view x,
+                       double value, std::string_view unit,
+                       std::map<std::string, std::int64_t> metrics) {
+  Point p;
+  p.series = std::string(series);
+  p.stack = std::string(stack_name);
+  p.config = std::string(config_label);
+  p.x = std::string(x);
+  p.value = value;
+  p.unit = std::string(unit);
+  p.metrics = std::move(metrics);
+  points_.push_back(std::move(p));
+}
+
+std::string BenchResults::write(const std::string& dir) const {
+  std::string json;
+  json += "{\n  \"schema\": \"ulsocks.bench.v1\",\n";
+  json += "  \"figure\": \"" + obs::json_escape(figure_) + "\",\n";
+  json += "  \"title\": \"" + obs::json_escape(title_) + "\",\n";
+  json += "  \"points\": [";
+  bool first_point = true;
+  for (const Point& p : points_) {
+    json += first_point ? "\n" : ",\n";
+    first_point = false;
+    json += "    {\"series\": \"" + obs::json_escape(p.series) + "\", ";
+    json += "\"stack\": \"" + obs::json_escape(p.stack) + "\", ";
+    json += "\"config\": \"" + obs::json_escape(p.config) + "\", ";
+    json += "\"x\": \"" + obs::json_escape(p.x) + "\", ";
+    json += "\"value\": ";
+    append_number(json, p.value);
+    json += ", \"unit\": \"" + obs::json_escape(p.unit) + "\",\n";
+    json += "     \"metrics\": {";
+    bool first_metric = true;
+    for (const auto& [path, v] : p.metrics) {
+      json += first_metric ? "" : ", ";
+      first_metric = false;
+      json += "\"" + obs::json_escape(path) + "\": " + std::to_string(v);
+    }
+    json += "}}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::string path = dir.empty() || dir == "."
+                         ? "BENCH_" + figure_ + ".json"
+                         : dir + "/BENCH_" + figure_ + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << json;
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return {};
+  }
+  std::fprintf(stderr, "results written to %s\n", path.c_str());
+  return path;
 }
 
 double measure_latency_us(const StackChoice& stack, std::size_t msg_bytes,
                           int iters, int warmup) {
-  if (stack.kind == StackChoice::Kind::kRawEmp) {
+  if (stack.kind() == StackChoice::Kind::kRawEmp) {
     return raw_emp_latency_us(msg_bytes, iters, warmup, /*dual_cpu=*/true);
   }
   return socket_latency_us(stack, msg_bytes, iters, warmup,
@@ -257,7 +430,7 @@ double measure_latency_us(const StackChoice& stack, std::size_t msg_bytes,
 
 double measure_latency_us_nic(const StackChoice& stack,
                               std::size_t msg_bytes, bool dual_cpu) {
-  if (stack.kind == StackChoice::Kind::kRawEmp) {
+  if (stack.kind() == StackChoice::Kind::kRawEmp) {
     return raw_emp_latency_us(msg_bytes, 50, 5, dual_cpu);
   }
   return socket_latency_us(stack, msg_bytes, 50, 5, dual_cpu);
@@ -272,7 +445,7 @@ double measure_bandwidth_mbps(const StackChoice& stack,
 double measure_bandwidth_mbps_nic(const StackChoice& stack,
                                   std::size_t msg_bytes,
                                   std::size_t total_bytes, bool dual_cpu) {
-  if (stack.kind == StackChoice::Kind::kRawEmp) {
+  if (stack.kind() == StackChoice::Kind::kRawEmp) {
     return raw_emp_bandwidth_mbps(msg_bytes, total_bytes);
   }
   return socket_bandwidth_mbps(stack, msg_bytes, total_bytes, dual_cpu);
@@ -280,7 +453,7 @@ double measure_bandwidth_mbps_nic(const StackChoice& stack,
 
 double measure_ftp_mbps(const StackChoice& stack, std::size_t file_bytes) {
   Engine eng;
-  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg);
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg());
   cl.node(0).host.fs().install("/srv/file.bin", payload(file_bytes));
   double mbps = 0;
 
@@ -299,9 +472,11 @@ double measure_ftp_mbps(const StackChoice& stack, std::size_t file_bytes) {
     mbps = xfer.mbps();
     co_await ftp.quit();
   };
+  arm_run(eng);
   eng.spawn(server());
   eng.spawn(client());
   eng.run();
+  finish_run(eng);
   return mbps;
 }
 
@@ -310,7 +485,7 @@ double measure_web_response_us(const StackChoice& stack,
                                std::uint32_t requests_per_connection,
                                std::size_t requests_per_client) {
   Engine eng;
-  Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg);
+  Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg());
   sim::OnlineStats all;
   sim::OnlineStats per_client[3];
 
@@ -334,9 +509,11 @@ double measure_web_response_us(const StackChoice& stack,
     co_await apps::web_client(proc, pick(cl, idx + 1, stack), opt,
                               per_client[idx]);
   };
+  arm_run(eng);
   eng.spawn(server());
   for (std::size_t i = 0; i < 3; ++i) eng.spawn(client(i));
   eng.run();
+  finish_run(eng);
   for (const auto& st : per_client) {
     // Merge means weighted by count.
     for (std::size_t i = 0; i < st.count(); ++i) all.add(st.mean());
@@ -346,7 +523,7 @@ double measure_web_response_us(const StackChoice& stack,
 
 double measure_matmul_ms(const StackChoice& stack, std::size_t n) {
   Engine eng;
-  Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg);
+  Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg());
   auto a = apps::make_matrix(n, 1);
   auto b = apps::make_matrix(n, 2);
   double ms = 0;
@@ -363,9 +540,11 @@ double measure_matmul_ms(const StackChoice& stack, std::size_t n) {
     os::Process proc(cl.node(idx).host);
     co_await apps::matmul_worker(proc, pick(cl, idx, stack));
   };
+  arm_run(eng);
   for (std::size_t i = 1; i <= 3; ++i) eng.spawn(worker(i));
   eng.spawn(master());
   eng.run();
+  finish_run(eng);
   return ms;
 }
 
@@ -412,9 +591,11 @@ double measure_latency_with_extra_descriptors_us(
     }
     one_way_us = sim::to_us(eng.now() - t0) / (2.0 * kIters);
   };
+  arm_run(eng);
   eng.spawn(server());
   eng.spawn(client());
   eng.run();
+  finish_run(eng);
   return one_way_us;
 }
 

@@ -4,11 +4,20 @@
 // completion in simulated time and reports microseconds / Mb/s exactly the
 // way the paper does: "latency" is half the ping-pong round trip, bandwidth
 // is receiver-side goodput over the transfer window.
+//
+// Observability: each run's engine carries the obs metrics registry and
+// timeline tracer.  After any measure_* call, last_run_metrics() holds that
+// run's full registry snapshot; BenchResults attaches it to every recorded
+// point and writes the schema-versioned BENCH_<figure>.json that
+// scripts/validate_bench_json.py checks.  set_trace_export() arms a Chrome
+// trace_event export of the next run (see DESIGN.md §8).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "apps/cluster.hpp"
@@ -20,17 +29,114 @@ namespace ulsocks::bench {
 using apps::Cluster;
 using sim::Task;
 
-/// Which transport a measurement runs over.
-struct StackChoice {
-  enum class Kind { kSubstrate, kTcp, kRawEmp } kind = Kind::kSubstrate;
-  sockets::SubstrateConfig cfg{};       // substrate runs
-  int tcp_sockbuf = 0;                  // 0: kernel default (16 KB)
-  bool tcp_nodelay = true;
+/// Which transport a measurement runs over.  Built through the named
+/// factories so every choice carries a stack name and a config label the
+/// JSON emitter reuses; the paper presets flow in via sockets::preset().
+class StackChoice {
+ public:
+  enum class Kind { kSubstrate, kTcp, kRawEmp };
+
+  /// Substrate run with a registry preset (label = the paper figure label).
+  [[nodiscard]] static StackChoice substrate(const sockets::Preset& preset);
+  /// Substrate run with a hand-built config (ablations that tweak knobs).
+  [[nodiscard]] static StackChoice substrate(sockets::SubstrateConfig cfg,
+                                             std::string label);
+  /// Kernel TCP; `sockbuf` of 0 keeps the kernel default (16 KB).
+  [[nodiscard]] static StackChoice tcp(int sockbuf = 0);
+  /// Raw EMP ping-pong, no sockets layer at all.
+  [[nodiscard]] static StackChoice raw_emp();
+
+  /// Stack name for series labels and JSON: "substrate", "tcp" or "emp".
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Configuration label: preset figure label, "sockbuf=N", or "raw".
+  [[nodiscard]] const std::string& config_label() const noexcept {
+    return label_;
+  }
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const sockets::SubstrateConfig& cfg() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] int tcp_sockbuf() const noexcept { return tcp_sockbuf_; }
+  [[nodiscard]] bool tcp_nodelay() const noexcept { return tcp_nodelay_; }
+
+ private:
+  Kind kind_ = Kind::kSubstrate;
+  sockets::SubstrateConfig cfg_{};
+  int tcp_sockbuf_ = 0;  // 0: kernel default (16 KB)
+  bool tcp_nodelay_ = true;
+  std::string name_ = "substrate";
+  std::string label_;
 };
 
-[[nodiscard]] StackChoice substrate_choice(sockets::SubstrateConfig cfg);
-[[nodiscard]] StackChoice tcp_choice(int sockbuf = 0);
-[[nodiscard]] StackChoice raw_emp_choice();
+/// Registry snapshot of the most recent measure_* run (path -> value; see
+/// obs/metrics.hpp for the "h<N>/<layer>/<name>" path scheme).
+[[nodiscard]] const std::map<std::string, std::int64_t>& last_run_metrics();
+
+/// Arm a timeline export: the next measure_* run executes with the tracer
+/// enabled and writes Chrome trace_event JSON to `path` when it finishes.
+void set_trace_export(std::string path);
+
+/// Options every bench main understands:
+///   --iters N    latency iterations per point (smoke runs use small N)
+///   --trace F    export a Chrome trace of the first run to F
+///   --out DIR    directory for BENCH_<figure>.json (default ".")
+struct BenchOptions {
+  int iters = 0;  // 0: the figure's default
+  std::string trace_path;
+  std::string out_dir = ".";
+
+  [[nodiscard]] int iters_or(int dflt) const { return iters > 0 ? iters : dflt; }
+};
+[[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv);
+
+/// Machine-readable bench results.  add() records one measured point along
+/// with the metrics snapshot of the run that produced it; write() emits
+///
+///   {
+///     "schema": "ulsocks.bench.v1",
+///     "figure": "<figure>", "title": "<title>",
+///     "points": [{"series", "stack", "config", "x", "value", "unit",
+///                 "metrics": {"h0/emp/data_frames_tx": 123, ...}}, ...]
+///   }
+///
+/// as BENCH_<figure>.json so plots and regression checks never scrape the
+/// human tables.
+class BenchResults {
+ public:
+  BenchResults(std::string figure, std::string title);
+
+  /// Record the point for the measure_* call that just returned `value`.
+  void add(std::string_view series, const StackChoice& stack,
+           std::string_view x, double value, std::string_view unit);
+  /// Record a point that has no StackChoice (raw-parameter ablations).
+  void add(std::string_view series, std::string_view stack_name,
+           std::string_view config_label, std::string_view x, double value,
+           std::string_view unit);
+  /// Record a point with an explicit metrics snapshot (benches that drive
+  /// their own Engine instead of the measure_* routines).
+  void add(std::string_view series, std::string_view stack_name,
+           std::string_view config_label, std::string_view x, double value,
+           std::string_view unit, std::map<std::string, std::int64_t> metrics);
+
+  /// Write BENCH_<figure>.json into `dir`; returns the path written, or
+  /// empty on I/O failure (also printed to stderr).
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  struct Point {
+    std::string series;
+    std::string stack;
+    std::string config;
+    std::string x;
+    double value;
+    std::string unit;
+    std::map<std::string, std::int64_t> metrics;
+  };
+  std::string figure_;
+  std::string title_;
+  std::vector<Point> points_;
+};
 
 /// One-way latency (us) for `msg_bytes` messages, averaged over `iters`
 /// ping-pong rounds after `warmup` rounds.

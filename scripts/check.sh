@@ -5,6 +5,8 @@
 #   2. clang-tidy over src/ with the repo's .clang-tidy profile
 #      (skipped with a warning if clang-tidy is not installed).
 #   3. The coroutine-capture lint (scripts/lint_coro_captures.py).
+#   4. Bench smoke: a short fig11_latency run must emit a BENCH_*.json
+#      that passes scripts/validate_bench_json.py.
 #
 # Usage: scripts/check.sh [build-dir]      (default: build-check)
 set -euo pipefail
@@ -13,7 +15,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/3] Debug + ASan/UBSan build and test"
+echo "==> [1/4] Debug + ASan/UBSan build and test"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DULSOCKS_SANITIZE=address,undefined
@@ -22,7 +24,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> [2/3] clang-tidy"
+echo "==> [2/4] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
   if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -34,7 +36,13 @@ else
   echo "WARNING: clang-tidy not installed; skipping static analysis" >&2
 fi
 
-echo "==> [3/3] coroutine-capture lint"
+echo "==> [3/4] coroutine-capture lint"
 python3 scripts/lint_coro_captures.py src
+
+echo "==> [4/4] bench smoke + results-schema validation"
+SMOKE_DIR="$BUILD_DIR/bench-smoke"
+mkdir -p "$SMOKE_DIR"
+"$BUILD_DIR/bench/fig11_latency" --iters 3 --out "$SMOKE_DIR" >/dev/null
+python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
 
 echo "==> all checks passed"

@@ -13,7 +13,32 @@ namespace {
 /// One message may not exceed what total_frames (16-bit) can describe.
 constexpr std::uint32_t kMaxFramesPerMessage = 65'535;
 
+std::string host_label(NodeId self) { return "h" + std::to_string(self); }
+
 }  // namespace
+
+EmpEndpoint::Instruments::Instruments(obs::Scope scope)
+    : sends_posted(scope.counter("sends_posted")),
+      recvs_posted(scope.counter("recvs_posted")),
+      data_frames_tx(scope.counter("data_frames_tx")),
+      data_frames_rx(scope.counter("data_frames_rx")),
+      acks_tx(scope.counter("acks_tx")),
+      acks_rx(scope.counter("acks_rx")),
+      nacks_tx(scope.counter("nacks_tx")),
+      retransmitted_frames(scope.counter("retransmitted_frames")),
+      unmatched_drops(scope.counter("unmatched_drops")),
+      too_small_drops(scope.counter("too_small_drops")),
+      duplicate_frames(scope.counter("duplicate_frames")),
+      reacks(scope.counter("reacks")),
+      malformed_frames(scope.counter("malformed_frames")),
+      misrouted_frames(scope.counter("misrouted_frames")),
+      unexpected_claims(scope.counter("unexpected_claims")),
+      unexpected_evictions(scope.counter("unexpected_evictions")),
+      descriptors_walked(scope.counter("descriptors_walked")),
+      pin_hits(scope.counter("pin_hits")),
+      pin_misses(scope.counter("pin_misses")),
+      tag_walk_len(scope.histogram("tag_walk_len")),
+      desc_queue_depth(scope.histogram("desc_queue_depth")) {}
 
 EmpEndpoint::EmpEndpoint(sim::Engine& eng, const sim::CostModel& model,
                          nic::NicDevice& nic, sim::SerialResource& host_cpu,
@@ -27,10 +52,38 @@ EmpEndpoint::EmpEndpoint(sim::Engine& eng, const sim::CostModel& model,
       self_(self),
       resolve_(std::move(resolve)),
       config_(config),
+      ctr_(obs::Scope(eng.metrics(), host_label(self) + "/emp")),
+      tracer_(eng.tracer()),
+      trk_lib_(tracer_.track(host_label(self), "emp")),
+      trk_fw_(tracer_.track(host_label(self), "emp-fw")),
       inv_check_(eng.checks(), "emp.endpoint",
                  [this] { check_invariants(); }) {
   nic_.set_rx_handler(net::EtherType::kEmp,
                       [this](net::FramePtr f) { on_frame(std::move(f)); });
+}
+
+EmpStats EmpEndpoint::stats() const noexcept {
+  EmpStats s;
+  s.sends_posted = ctr_.sends_posted.value();
+  s.recvs_posted = ctr_.recvs_posted.value();
+  s.data_frames_tx = ctr_.data_frames_tx.value();
+  s.data_frames_rx = ctr_.data_frames_rx.value();
+  s.acks_tx = ctr_.acks_tx.value();
+  s.acks_rx = ctr_.acks_rx.value();
+  s.nacks_tx = ctr_.nacks_tx.value();
+  s.retransmitted_frames = ctr_.retransmitted_frames.value();
+  s.unmatched_drops = ctr_.unmatched_drops.value();
+  s.too_small_drops = ctr_.too_small_drops.value();
+  s.duplicate_frames = ctr_.duplicate_frames.value();
+  s.reacks = ctr_.reacks.value();
+  s.malformed_frames = ctr_.malformed_frames.value();
+  s.misrouted_frames = ctr_.misrouted_frames.value();
+  s.unexpected_claims = ctr_.unexpected_claims.value();
+  s.unexpected_evictions = ctr_.unexpected_evictions.value();
+  s.descriptors_walked = ctr_.descriptors_walked.value();
+  s.pin_hits = ctr_.pin_hits.value();
+  s.pin_misses = ctr_.pin_misses.value();
+  return s;
 }
 
 void EmpEndpoint::check_invariants() const {
@@ -103,11 +156,11 @@ void EmpEndpoint::check_invariants() const {
 sim::Duration EmpEndpoint::pin_cost(const void* base) {
   auto it = pin_map_.find(base);
   if (it != pin_map_.end()) {
-    ++stats_.pin_hits;
+    ++ctr_.pin_hits;
     pin_lru_.splice(pin_lru_.begin(), pin_lru_, it->second);
     return model_.host.pin_cache_hit_ns;
   }
-  ++stats_.pin_misses;
+  ++ctr_.pin_misses;
   pin_lru_.push_front(base);
   pin_map_[base] = pin_lru_.begin();
   if (pin_lru_.size() > config_.translation_cache_capacity) {
@@ -119,6 +172,7 @@ sim::Duration EmpEndpoint::pin_cost(const void* base) {
 
 sim::Task<SendHandle> EmpEndpoint::post_send(
     NodeId dst, Tag tag, std::span<const std::uint8_t> data) {
+  const sim::Time t0 = eng_.now();
   sim::Duration cost = model_.host.desc_build_ns + pin_cost(data.data()) +
                        model_.nic.mailbox_post_ns;
   co_await host_cpu_.use(cost);
@@ -135,16 +189,22 @@ sim::Task<SendHandle> EmpEndpoint::post_send(
       check::msgf("message of %zu bytes exceeds the 16-bit frame count",
                   data.size()));
   pending_sends_[st->msg_id] = st;
-  ++stats_.sends_posted;
+  ++ctr_.sends_posted;
 
   nic_.fw_tx(model_.nic.fw_tx_post_ns,
              [this, st] { transmit_frames(st, 0); });
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_lib_, t0, eng_.now() - t0, "post_send",
+                     "\"dst\":" + std::to_string(dst) +
+                         ",\"bytes\":" + std::to_string(data.size()));
+  }
   co_return st;
 }
 
 sim::Task<RecvHandle> EmpEndpoint::post_recv(std::optional<NodeId> src,
                                              Tag tag,
                                              std::span<std::uint8_t> buffer) {
+  const sim::Time t0 = eng_.now();
   sim::Duration cost = model_.host.desc_build_ns + pin_cost(buffer.data()) +
                        model_.nic.mailbox_post_ns;
   co_await host_cpu_.use(cost);
@@ -154,7 +214,7 @@ sim::Task<RecvHandle> EmpEndpoint::post_recv(std::optional<NodeId> src,
   r->tag = tag;
   r->buffer = buffer.data();
   r->capacity = static_cast<std::uint32_t>(buffer.size());
-  ++stats_.recvs_posted;
+  ++ctr_.recvs_posted;
   ULS_TRACE(eng_, "emp", "node%u post_recv src=%d tag=%u h=%p", self_,
             src ? (int)*src : -1, tag, (void*)r.get());
 
@@ -169,8 +229,14 @@ sim::Task<RecvHandle> EmpEndpoint::post_recv(std::optional<NodeId> src,
     if (r->unposted || r->completed) return;
     r->filed = true;
     walk_.push_back(r);
+    ctr_.desc_queue_depth.observe(walk_.size());
     reconcile_unexpected();
   });
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_lib_, t0, eng_.now() - t0, "post_recv",
+                     "\"tag\":" + std::to_string(tag) +
+                         ",\"capacity\":" + std::to_string(buffer.size()));
+  }
   co_return r;
 }
 
@@ -272,7 +338,10 @@ void EmpEndpoint::transmit_frames(const SendHandle& st,
   const std::uint32_t total = st->total_frames;
   const std::uint32_t frag = fragment_size();
   for (std::uint32_t idx = first_frame; idx < total; ++idx) {
-    if (retransmit) ++stats_.retransmitted_frames;
+    if (retransmit) {
+      ++ctr_.retransmitted_frames;
+      tracer_.instant(trk_fw_, eng_.now(), "retransmit");
+    }
     std::uint32_t offset0 = idx * frag;
     std::uint32_t len0 = st->data.empty()
                              ? 0
@@ -297,7 +366,7 @@ void EmpEndpoint::transmit_frames(const SendHandle& st,
         h.frame_index = static_cast<std::uint16_t>(idx);
         h.total_frames = static_cast<std::uint16_t>(total);
         h.msg_bytes = static_cast<std::uint32_t>(st->data.size());
-        ++stats_.data_frames_tx;
+        ++ctr_.data_frames_tx;
         nic_.mac_send(make_frame(
             st->dst, h,
             std::span<const std::uint8_t>(st->data).subspan(offset, len)));
@@ -340,12 +409,12 @@ void EmpEndpoint::fail_send(const SendHandle& st) {
 void EmpEndpoint::on_frame(net::FramePtr frame) {
   auto decoded = decode_frame(frame->payload);
   if (!decoded) {
-    ++stats_.malformed_frames;
+    ++ctr_.malformed_frames;
     return;
   }
   EmpHeader h = decoded->header;
   if (h.dst_node != self_) {
-    ++stats_.misrouted_frames;  // not ours (should be filtered by the MAC)
+    ++ctr_.misrouted_frames;  // not ours (should be filtered by the MAC)
     return;
   }
   switch (h.kind) {
@@ -369,7 +438,7 @@ void EmpEndpoint::on_frame(net::FramePtr frame) {
 
 void EmpEndpoint::handle_data(const EmpHeader& h,
                               std::vector<std::uint8_t> fragment) {
-  ++stats_.data_frames_rx;
+  ++ctr_.data_frames_rx;
   const std::uint64_t key = key_of(h.src_node, h.msg_id);
 
   // A message the receiver already completed must never re-match a fresh
@@ -377,8 +446,8 @@ void EmpEndpoint::handle_data(const EmpHeader& h,
   // be delivered twice.  Re-ack it and drop the frame.
   if (auto hist = completed_history_.find(key);
       hist != completed_history_.end()) {
-    ++stats_.reacks;
-    ++stats_.duplicate_frames;
+    ++ctr_.reacks;
+    ++ctr_.duplicate_frames;
     send_ack(h.src_node, h.msg_id, hist->second);
     return;
   }
@@ -440,7 +509,7 @@ void EmpEndpoint::handle_data(const EmpHeader& h,
           victim->got.clear();
           victim->frames_received = 0;
           victim->frames_landed = 0;
-          ++stats_.unexpected_evictions;
+          ++ctr_.unexpected_evictions;
         }
       }
       for (auto& u : unexpected_pool_) {
@@ -457,31 +526,39 @@ void EmpEndpoint::handle_data(const EmpHeader& h,
         u.frames_received = 0;
         u.frames_landed = 0;
         binding.unexpected = &u;
-        ++stats_.unexpected_claims;
+        ++ctr_.unexpected_claims;
         break;
       }
     }
     if (!binding.recv && binding.unexpected == nullptr) {
-      stats_.descriptors_walked += walked;
+      ctr_.descriptors_walked += walked;
+      ctr_.tag_walk_len.observe(walked);
       nic_.rx_cpu().run(
           static_cast<sim::Duration>(walked) *
               model_.nic.tag_match_per_desc_ns,
           [] {});
       if (too_small_candidate) {
-        ++stats_.too_small_drops;
+        ++ctr_.too_small_drops;
+        tracer_.instant(trk_fw_, eng_.now(), "drop_too_small");
       } else {
         // No descriptor: drop.  The sender's timeout retransmits, exactly
         // the behaviour the substrate's flow control exists to avoid.
         ULS_TRACE(eng_, "emp", "node%u drop src=%u tag=%u msg=%u", self_,
                   h.src_node, h.tag, h.msg_id);
-        ++stats_.unmatched_drops;
+        ++ctr_.unmatched_drops;
+        tracer_.instant(trk_fw_, eng_.now(), "drop_unmatched");
       }
       return;
     }
     bound_[key] = binding;
   }
 
-  stats_.descriptors_walked += walked;
+  ctr_.descriptors_walked += walked;
+  ctr_.tag_walk_len.observe(walked);
+  tracer_.complete(
+      trk_fw_, eng_.now(),
+      static_cast<sim::Duration>(walked) * model_.nic.tag_match_per_desc_ns,
+      "tag_match");
   nic_.rx_cpu().run(
       static_cast<sim::Duration>(walked) * model_.nic.tag_match_per_desc_ns,
       [this, binding, h, fragment = std::move(fragment)]() mutable {
@@ -505,12 +582,12 @@ void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
   }
 
   if (h.frame_index >= got->size() || (*got)[h.frame_index]) {
-    ++stats_.duplicate_frames;
+    ++ctr_.duplicate_frames;
     // Re-ack the contiguous prefix so a sender that lost our ack makes
     // progress.
     std::uint32_t prefix = 0;
     while (prefix < got->size() && (*got)[prefix]) ++prefix;
-    ++stats_.reacks;
+    ++ctr_.reacks;
     send_ack(h.src_node, h.msg_id, prefix);
     return;
   }
@@ -671,7 +748,7 @@ void EmpEndpoint::send_ack(NodeId to, std::uint32_t msg_id,
     h.dst_node = to;
     h.msg_id = msg_id;
     h.ack_value = count;
-    ++stats_.acks_tx;
+    ++ctr_.acks_tx;
     nic_.mac_send(make_frame(to, h, {}));
   });
 }
@@ -685,13 +762,13 @@ void EmpEndpoint::send_nack(NodeId to, std::uint32_t msg_id,
     h.dst_node = to;
     h.msg_id = msg_id;
     h.ack_value = missing;
-    ++stats_.nacks_tx;
+    ++ctr_.nacks_tx;
     nic_.mac_send(make_frame(to, h, {}));
   });
 }
 
 void EmpEndpoint::handle_ack(const EmpHeader& h) {
-  ++stats_.acks_rx;
+  ++ctr_.acks_rx;
   auto it = pending_sends_.find(h.msg_id);
   if (it == pending_sends_.end()) return;  // late ack for a finished send
   SendHandle st = it->second;
@@ -714,7 +791,7 @@ void EmpEndpoint::handle_nack(const EmpHeader& h) {
   std::uint32_t idx = h.ack_value;
   if (idx >= st->total_frames) return;
   // Immediate single-frame repair; the regular timer still backstops.
-  ++stats_.retransmitted_frames;
+  ++ctr_.retransmitted_frames;
   const std::uint32_t frag = fragment_size();
   std::uint32_t rlen = st->data.empty()
                            ? 0
@@ -737,7 +814,7 @@ void EmpEndpoint::handle_nack(const EmpHeader& h) {
       hh.frame_index = static_cast<std::uint16_t>(idx);
       hh.total_frames = st->total_frames;
       hh.msg_bytes = static_cast<std::uint32_t>(st->data.size());
-      ++stats_.data_frames_tx;
+      ++ctr_.data_frames_tx;
       nic_.mac_send(make_frame(
           st->dst, hh,
           std::span<const std::uint8_t>(st->data).subspan(offset, len)));

@@ -30,6 +30,8 @@
 #include "check/registry.hpp"
 #include "emp/wire.hpp"
 #include "nic/nic_device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -113,6 +115,9 @@ struct RecvState {
 };
 using RecvHandle = std::shared_ptr<RecvState>;
 
+/// Thin read-out view over the registry counters under "h<N>/emp/" (the
+/// registry, reachable via Engine::metrics(), is the canonical store; this
+/// struct exists for ergonomic field access in tests and reports).
 struct EmpStats {
   std::uint64_t sends_posted = 0;
   std::uint64_t recvs_posted = 0;
@@ -149,7 +154,8 @@ class EmpEndpoint {
 
   [[nodiscard]] NodeId node_id() const noexcept { return self_; }
   [[nodiscard]] const EmpConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const EmpStats& stats() const noexcept { return stats_; }
+  /// Materialize the typed stats view from the registry counters.
+  [[nodiscard]] EmpStats stats() const noexcept;
 
   // ---- Host-side operations (coroutines charging host CPU time) ----
 
@@ -237,6 +243,36 @@ class EmpEndpoint {
   void check_invariants() const;
 
  private:
+  /// Registry-backed counters/histograms (EmpStats mirrors the counters).
+  /// References are stable: the registry owns the instruments.
+  struct Instruments {
+    obs::Counter& sends_posted;
+    obs::Counter& recvs_posted;
+    obs::Counter& data_frames_tx;
+    obs::Counter& data_frames_rx;
+    obs::Counter& acks_tx;
+    obs::Counter& acks_rx;
+    obs::Counter& nacks_tx;
+    obs::Counter& retransmitted_frames;
+    obs::Counter& unmatched_drops;
+    obs::Counter& too_small_drops;
+    obs::Counter& duplicate_frames;
+    obs::Counter& reacks;
+    obs::Counter& malformed_frames;
+    obs::Counter& misrouted_frames;
+    obs::Counter& unexpected_claims;
+    obs::Counter& unexpected_evictions;
+    obs::Counter& descriptors_walked;
+    obs::Counter& pin_hits;
+    obs::Counter& pin_misses;
+    /// Tag-match walk length per incoming data frame (descriptors +
+    /// unexpected entries inspected; the 550 ns/descriptor cost driver).
+    obs::Histogram& tag_walk_len;
+    /// Pre-posted descriptor queue depth observed as each descriptor files.
+    obs::Histogram& desc_queue_depth;
+    explicit Instruments(obs::Scope scope);
+  };
+
   struct UnexpectedEntry {
     std::vector<std::uint8_t> buffer;
     bool bound = false;
@@ -310,7 +346,10 @@ class EmpEndpoint {
   NodeId self_;
   std::function<net::MacAddress(NodeId)> resolve_;
   EmpConfig config_;
-  EmpStats stats_;
+  Instruments ctr_;
+  obs::Tracer& tracer_;
+  std::uint32_t trk_lib_;  // ("h<N>", "emp") host-library timeline track
+  std::uint32_t trk_fw_;   // ("h<N>", "emp-fw") NIC-firmware timeline track
   std::function<void()> completion_hook_;
 
   std::uint32_t next_msg_id_ = 1;

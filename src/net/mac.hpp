@@ -25,6 +25,14 @@ struct MacAddress {
     return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
   }
 
+  /// Inverse of for_host(): the simulated host index this address encodes.
+  [[nodiscard]] constexpr std::uint32_t host_index() const {
+    return (static_cast<std::uint32_t>(octets[2]) << 24) |
+           (static_cast<std::uint32_t>(octets[3]) << 16) |
+           (static_cast<std::uint32_t>(octets[4]) << 8) |
+           static_cast<std::uint32_t>(octets[5]);
+  }
+
   [[nodiscard]] constexpr bool is_broadcast() const {
     for (auto o : octets) {
       if (o != 0xff) return false;

@@ -8,6 +8,12 @@ EthernetSwitch::EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
                                std::size_t port_count)
     : eng_(eng),
       wire_(wire),
+      scope_(eng.metrics(), "net/switch"),
+      forwarded_(scope_.counter("frames_forwarded")),
+      flooded_(scope_.counter("frames_flooded")),
+      dropped_(scope_.counter("frames_dropped")),
+      tracer_(eng.tracer()),
+      trk_(eng.tracer().track("net", "switch")),
       inv_check_(eng.checks(), "net.switch",
                  [this] { check_invariants(); }) {
   ports_.reserve(port_count);
@@ -59,6 +65,7 @@ void EthernetSwitch::ingress(std::size_t port, FramePtr frame) {
   table_[frame->src] = port;
 
   // Store-and-forward lookup latency, then route.
+  tracer_.complete(trk_, eng_.now(), wire_.switch_latency_ns, "forward");
   auto shared = std::make_shared<FramePtr>(std::move(frame));
   eng_.schedule_after(wire_.switch_latency_ns, [this, port, shared] {
     Frame& f = **shared;
@@ -87,6 +94,7 @@ void EthernetSwitch::enqueue(std::size_t port, FramePtr frame) {
   std::uint64_t bytes = frame->wire_bytes();
   if (out.queued_bytes + bytes > wire_.switch_port_buffer_bytes) {
     ++dropped_;  // drop-tail on egress buffer overflow
+    tracer_.instant(trk_, eng_.now(), "drop_tail");
     return;
   }
   out.queued_bytes += bytes;

@@ -17,6 +17,8 @@
 #include "check/registry.hpp"
 #include "net/frame.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
 
@@ -32,9 +34,15 @@ class EthernetSwitch {
   void connect(std::size_t port, Link& link, Link::Side side);
 
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
-  [[nodiscard]] std::uint64_t frames_forwarded() const { return forwarded_; }
-  [[nodiscard]] std::uint64_t frames_flooded() const { return flooded_; }
-  [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t frames_forwarded() const {
+    return forwarded_.value();
+  }
+  [[nodiscard]] std::uint64_t frames_flooded() const {
+    return flooded_.value();
+  }
+  [[nodiscard]] std::uint64_t frames_dropped() const {
+    return dropped_.value();
+  }
   [[nodiscard]] std::size_t learned_macs() const { return table_.size(); }
 
   /// Cross-layer invariants: per-port byte accounting matches the queued
@@ -72,9 +80,12 @@ class EthernetSwitch {
   sim::WireCosts wire_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<MacAddress, std::size_t> table_;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t flooded_ = 0;
-  std::uint64_t dropped_ = 0;
+  obs::Scope scope_;  // "net/switch" registry prefix
+  obs::Counter& forwarded_;
+  obs::Counter& flooded_;
+  obs::Counter& dropped_;
+  obs::Tracer& tracer_;
+  std::uint32_t trk_;  // ("net", "switch") timeline track
 
   // Last member: deregisters before the state it inspects is torn down.
   check::ScopedChecker inv_check_;

@@ -20,6 +20,8 @@
 
 #include "net/frame.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -38,7 +40,15 @@ class NicDevice final : public net::FrameSink {
         dual_cpu_(dual_cpu),
         tx_cpu_(eng, "nic-tx-cpu"),
         rx_cpu_(eng, "nic-rx-cpu"),
-        dma_(eng, "nic-dma") {
+        dma_(eng, "nic-dma"),
+        scope_(eng.metrics(),
+               "h" + std::to_string(mac.host_index()) + "/nic"),
+        frames_tx_(scope_.counter("frames_tx")),
+        frames_rx_(scope_.counter("frames_rx")),
+        frames_filtered_(scope_.counter("frames_filtered")),
+        tracer_(eng.tracer()),
+        trk_(eng.tracer().track("h" + std::to_string(mac.host_index()),
+                                "nic")) {
     link_.attach(side_, this);
   }
 
@@ -62,6 +72,10 @@ class NicDevice final : public net::FrameSink {
 
   /// One DMA transfer of `bytes` across the host bus (setup + per byte).
   void dma_transfer(std::uint64_t bytes, std::function<void()> done) {
+    if (tracer_.enabled()) {
+      tracer_.complete(trk_, eng_.now(), model_.dma_cost(bytes), "dma",
+                       "\"bytes\":" + std::to_string(bytes));
+    }
     dma_.run(model_.dma_cost(bytes), std::move(done));
   }
 
@@ -98,10 +112,14 @@ class NicDevice final : public net::FrameSink {
     if (handler) handler(std::move(frame));
   }
 
-  [[nodiscard]] std::uint64_t frames_tx() const noexcept { return frames_tx_; }
-  [[nodiscard]] std::uint64_t frames_rx() const noexcept { return frames_rx_; }
+  [[nodiscard]] std::uint64_t frames_tx() const noexcept {
+    return frames_tx_.value();
+  }
+  [[nodiscard]] std::uint64_t frames_rx() const noexcept {
+    return frames_rx_.value();
+  }
   [[nodiscard]] std::uint64_t frames_filtered() const noexcept {
-    return frames_filtered_;
+    return frames_filtered_.value();
   }
   [[nodiscard]] sim::SerialResource& dma() noexcept { return dma_; }
 
@@ -115,6 +133,7 @@ class NicDevice final : public net::FrameSink {
     net::FramePtr frame = std::move(tx_queue_.front());
     tx_queue_.pop_front();
     sim::Duration ser = link_.serialization_time(*frame);
+    tracer_.complete(trk_, eng_.now(), ser, "mac_tx");
     link_.transmit(side_, std::move(frame));
     eng_.schedule_after(ser, [this] { drain_tx(); });
   }
@@ -132,9 +151,12 @@ class NicDevice final : public net::FrameSink {
   bool tx_draining_ = false;
   std::function<void(net::FramePtr)> rx_emp_;
   std::function<void(net::FramePtr)> rx_ip_;
-  std::uint64_t frames_tx_ = 0;
-  std::uint64_t frames_rx_ = 0;
-  std::uint64_t frames_filtered_ = 0;
+  obs::Scope scope_;  // "h<N>/nic" registry prefix
+  obs::Counter& frames_tx_;
+  obs::Counter& frames_rx_;
+  obs::Counter& frames_filtered_;
+  obs::Tracer& tracer_;
+  std::uint32_t trk_;  // ("h<N>", "nic") timeline track
 };
 
 }  // namespace ulsocks::nic

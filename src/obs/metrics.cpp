@@ -1,0 +1,84 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace ulsocks::obs {
+
+std::uint64_t Histogram::quantile_bound(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the observation at position ceil(q * count) in sorted
+  // order (0-based index below), so q -> 1 always reaches the last bucket.
+  auto pos = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t rank = pos == 0 ? 0 : pos - 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      // Bucket 0 holds {0, 1}; bucket i >= 1 covers [2^i, 2^(i+1)).
+      // Report the exclusive upper bound.
+      return i == 0 ? 2 : (1ull << (i + 1));
+    }
+  }
+  return max_;
+}
+
+Counter& Registry::counter(const std::string& path) {
+  auto it = counters_.find(path);
+  if (it != counters_.end()) return *it->second;
+  counter_store_.emplace_back();
+  Counter* c = &counter_store_.back();
+  counters_.emplace(path, c);
+  return *c;
+}
+
+Gauge& Registry::gauge(const std::string& path) {
+  auto it = gauges_.find(path);
+  if (it != gauges_.end()) return *it->second;
+  gauge_store_.emplace_back();
+  Gauge* g = &gauge_store_.back();
+  gauges_.emplace(path, g);
+  return *g;
+}
+
+Histogram& Registry::histogram(const std::string& path) {
+  auto it = histograms_.find(path);
+  if (it != histograms_.end()) return *it->second;
+  histogram_store_.emplace_back();
+  Histogram* h = &histogram_store_.back();
+  histograms_.emplace(path, h);
+  return *h;
+}
+
+std::map<std::string, std::int64_t> Registry::snapshot() const {
+  return snapshot("");
+}
+
+std::map<std::string, std::int64_t> Registry::snapshot(
+    std::string_view prefix) const {
+  std::map<std::string, std::int64_t> out;
+  auto matches = [&](const std::string& path) {
+    return path.size() >= prefix.size() &&
+           std::string_view(path).substr(0, prefix.size()) == prefix;
+  };
+  for (const auto& [path, c] : counters_) {
+    if (matches(path)) out[path] = static_cast<std::int64_t>(c->value());
+  }
+  for (const auto& [path, g] : gauges_) {
+    if (matches(path)) out[path] = g->value();
+  }
+  for (const auto& [path, h] : histograms_) {
+    if (!matches(path)) continue;
+    out[path + "/count"] = static_cast<std::int64_t>(h->count());
+    out[path + "/sum"] = static_cast<std::int64_t>(h->sum());
+    out[path + "/min"] = static_cast<std::int64_t>(h->min());
+    out[path + "/max"] = static_cast<std::int64_t>(h->max());
+    out[path + "/p50"] = static_cast<std::int64_t>(h->quantile_bound(0.50));
+    out[path + "/p99"] = static_cast<std::int64_t>(h->quantile_bound(0.99));
+  }
+  return out;
+}
+
+}  // namespace ulsocks::obs

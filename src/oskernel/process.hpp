@@ -42,6 +42,7 @@ class Process {
   [[nodiscard]] sim::Task<int> accept(int fd, SockAddr* peer = nullptr);
   [[nodiscard]] sim::Task<void> connect(int fd, SockAddr remote);
   [[nodiscard]] sim::Task<void> set_option(int fd, SockOpt opt, int value);
+  [[nodiscard]] sim::Task<int> get_option(int fd, SockOpt opt);
 
   // ---- generic calls (the overloaded name-space of §4.3) ----
   [[nodiscard]] sim::Task<std::size_t> read(int fd,

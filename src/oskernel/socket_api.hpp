@@ -88,8 +88,17 @@ class SocketApi {
 
   [[nodiscard]] virtual sim::Task<void> close(int sd) = 0;
 
+  /// Option semantics are ignore-unsupported, matching setsockopt() use in
+  /// portable applications: set_option() silently accepts options the stack
+  /// has no equivalent for (e.g. kNoDelay on the substrate, kCredits on
+  /// kernel TCP), and get_option() returns 0 for them.  Options a stack
+  /// does understand round-trip: get_option() after set_option() returns
+  /// the effective value.  Both throw SocketError(kInvalid) only for a bad
+  /// descriptor or a state in which a supported option can no longer be
+  /// changed (e.g. substrate credits after connect).
   [[nodiscard]] virtual sim::Task<void> set_option(int sd, SockOpt opt,
                                                    int value) = 0;
+  [[nodiscard]] virtual sim::Task<int> get_option(int sd, SockOpt opt) = 0;
 
   /// select() support: non-blocking readability probe plus a condition
   /// variable notified on any socket state change in this stack.

@@ -21,6 +21,8 @@
 
 #include "check/invariant.hpp"
 #include "check/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -145,6 +147,18 @@ class Engine {
   /// run() as check::InvariantError.
   [[nodiscard]] check::Registry& checks() noexcept { return checks_; }
 
+  /// The run's metrics registry (see obs/metrics.hpp).  Protocol layers
+  /// register Counter/Gauge/Histogram handles under "h<N>/<layer>/<name>"
+  /// paths at construction; benches snapshot it after run().
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// The run's span-based timeline tracer (see obs/timeline.hpp).  Disabled
+  /// by default; enable before run() to export a Chrome trace afterwards.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+
   /// Events between checker sweeps; 0 disables sweeping entirely.  Tests
   /// set 1 to catch corruption on the very next event.
   void set_check_interval(std::uint64_t every_n_events) noexcept {
@@ -217,6 +231,8 @@ class Engine {
   std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // pi, arbitrary non-zero
   std::uint64_t check_interval_ = 1024;
   check::Registry checks_;
+  obs::Registry metrics_;
+  obs::Tracer tracer_;
   bool stop_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Task<void>> roots_;

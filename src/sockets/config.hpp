@@ -2,6 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace ulsocks::sockets {
 
@@ -57,30 +61,79 @@ struct SubstrateConfig {
   }
 };
 
-/// Named presets matching the paper's figure labels.
-[[nodiscard]] inline SubstrateConfig preset_ds() {
+/// A named substrate configuration: the registry entry behind preset().
+/// `label` is the paper's figure label, reused verbatim by the bench JSON
+/// emitter so plotted series match the figures.
+struct Preset {
+  std::string_view name;   // registry key, e.g. "ds_da_uq"
+  std::string_view label;  // figure label, e.g. "DS + Delayed Acks + UQ"
+  SubstrateConfig cfg;
+};
+
+namespace detail {
+[[nodiscard]] constexpr SubstrateConfig make_ds() {
   SubstrateConfig c;
   c.delayed_acks = false;
   c.unexpected_queue_acks = false;
   c.piggyback_acks = false;
   return c;
 }
-[[nodiscard]] inline SubstrateConfig preset_ds_da() {
-  SubstrateConfig c = preset_ds();
+[[nodiscard]] constexpr SubstrateConfig make_ds_da() {
+  SubstrateConfig c = make_ds();
   c.delayed_acks = true;
   return c;
 }
-[[nodiscard]] inline SubstrateConfig preset_ds_da_uq() {
-  SubstrateConfig c = preset_ds_da();
+[[nodiscard]] constexpr SubstrateConfig make_ds_da_uq() {
+  SubstrateConfig c = make_ds_da();
   c.unexpected_queue_acks = true;
   c.piggyback_acks = true;
   return c;
 }
-[[nodiscard]] inline SubstrateConfig preset_dg() {
-  SubstrateConfig c = preset_ds_da_uq();
+[[nodiscard]] constexpr SubstrateConfig make_dg() {
+  SubstrateConfig c = make_ds_da_uq();
   c.data_streaming = false;
   c.piggyback_acks = false;  // datagrams carry no substrate header
   return c;
 }
+
+inline constexpr Preset kPresets[] = {
+    {"ds", "Data Streaming", make_ds()},
+    {"ds_da", "DS + Delayed Acks", make_ds_da()},
+    {"ds_da_uq", "DS + Delayed Acks + UQ", make_ds_da_uq()},
+    {"dg", "Datagram", make_dg()},
+};
+}  // namespace detail
+
+/// The named-preset registry (the paper's figure configurations).  Unknown
+/// names throw; use try_preset() to probe.
+[[nodiscard]] inline const Preset& preset(std::string_view name) {
+  for (const Preset& p : detail::kPresets) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown substrate preset: " +
+                              std::string(name));
+}
+
+[[nodiscard]] inline const Preset* try_preset(std::string_view name) {
+  for (const Preset& p : detail::kPresets) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+/// Every registered preset, in registration order.
+[[nodiscard]] inline std::span<const Preset> presets() {
+  return detail::kPresets;
+}
+
+/// Legacy accessors, now thin wrappers over the registry.
+[[nodiscard]] inline SubstrateConfig preset_ds() { return preset("ds").cfg; }
+[[nodiscard]] inline SubstrateConfig preset_ds_da() {
+  return preset("ds_da").cfg;
+}
+[[nodiscard]] inline SubstrateConfig preset_ds_da_uq() {
+  return preset("ds_da_uq").cfg;
+}
+[[nodiscard]] inline SubstrateConfig preset_dg() { return preset("dg").cfg; }
 
 }  // namespace ulsocks::sockets

@@ -18,6 +18,17 @@ namespace {
 constexpr std::uint32_t kDgEagerLimit = 4096;
 }  // namespace
 
+EmpSocketStack::Instruments::Instruments(obs::Scope scope)
+    : connections_accepted(scope.counter("connections_accepted")),
+      connections_initiated(scope.counter("connections_initiated")),
+      eager_messages_tx(scope.counter("eager_messages_tx")),
+      rendezvous_messages_tx(scope.counter("rendezvous_messages_tx")),
+      credit_acks_tx(scope.counter("credit_acks_tx")),
+      credits_piggybacked(scope.counter("credits_piggybacked")),
+      truncated_datagrams(scope.counter("truncated_datagrams")),
+      closes_tx(scope.counter("closes_tx")),
+      credit_stall_ns(scope.histogram("credit_stall_ns")) {}
+
 EmpSocketStack::EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
                                os::Host& host, emp::EmpEndpoint& ep,
                                SubstrateConfig default_config)
@@ -27,10 +38,27 @@ EmpSocketStack::EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
       ep_(ep),
       default_cfg_(default_config),
       activity_(eng),
+      ctr_(obs::Scope(eng.metrics(),
+                      "h" + std::to_string(ep.node_id()) + "/sockets")),
+      tracer_(eng.tracer()),
+      trk_(eng.tracer().track("h" + std::to_string(ep.node_id()), "sockets")),
       inv_check_(eng.checks(), "sockets.substrate",
                  [this] { check_invariants(); }) {
   // Every EMP completion wakes whatever substrate call is blocked.
   ep_.set_completion_hook([this] { activity_.notify_all(); });
+}
+
+SubstrateStats EmpSocketStack::stats() const noexcept {
+  SubstrateStats s;
+  s.connections_accepted = ctr_.connections_accepted.value();
+  s.connections_initiated = ctr_.connections_initiated.value();
+  s.eager_messages_tx = ctr_.eager_messages_tx.value();
+  s.rendezvous_messages_tx = ctr_.rendezvous_messages_tx.value();
+  s.credit_acks_tx = ctr_.credit_acks_tx.value();
+  s.credits_piggybacked = ctr_.credits_piggybacked.value();
+  s.truncated_datagrams = ctr_.truncated_datagrams.value();
+  s.closes_tx = ctr_.closes_tx.value();
+  return s;
 }
 
 void EmpSocketStack::check_invariants() const {
@@ -265,6 +293,7 @@ sim::Task<void> EmpSocketStack::post_connection_resources(const SockPtr& s) {
 }
 
 sim::Task<void> EmpSocketStack::connect(int sd, SockAddr remote) {
+  const sim::Time t0 = eng_.now();
   auto s = sock(sd);
   if (s->state != Sock::State::kFresh && s->state != Sock::State::kBound) {
     throw SocketError(SockErr::kInvalid, "connect on active socket");
@@ -302,7 +331,7 @@ sim::Task<void> EmpSocketStack::connect(int sd, SockAddr remote) {
   req.buffer_bytes = s->cfg.buffer_bytes;
   auto h = co_await ep_.post_send(remote.node, listen_tag(remote.port),
                                   encode_conn_request(req));
-  ++stats_.connections_initiated;
+  ++ctr_.connections_initiated;
   eng_.spawn(pump(s));
 
   // connect() completes on the EMP-level acknowledgment of the request:
@@ -324,6 +353,10 @@ sim::Task<void> EmpSocketStack::connect(int sd, SockAddr remote) {
   }
   s->established = true;
   s->state = Sock::State::kConnected;
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, t0, eng_.now() - t0, "connect",
+                     "\"sd\":" + std::to_string(sd));
+  }
   activity_.notify_all();
 }
 
@@ -369,8 +402,9 @@ sim::Task<int> EmpSocketStack::accept(int sd, SockAddr* peer) {
       child->sd = child_sd;
       socks_[child_sd] = child;
       eng_.spawn(pump(child));
-      ++stats_.connections_accepted;
+      ++ctr_.connections_accepted;
       if (peer != nullptr) *peer = child->remote;
+      tracer_.instant(trk_, eng_.now(), "accept");
       co_return child_sd;
     }
     co_await activity_.wait();
@@ -399,7 +433,7 @@ sim::Task<void> EmpSocketStack::close(int sd) {
   }
   if (s->local_closed) co_return;
   s->local_closed = true;
-  ++stats_.closes_tx;
+  ++ctr_.closes_tx;
   // Return any credits the peer is still owed, then notify the close
   // (§5.3: "sends back a closed message to the connected node").
   co_await maybe_send_credit_ack(s, /*force=*/true);
@@ -435,6 +469,25 @@ sim::Task<void> EmpSocketStack::set_option(int sd, os::SockOpt opt,
     default:
       break;  // kernel-TCP options are no-ops here
   }
+}
+
+sim::Task<int> EmpSocketStack::get_option(int sd, os::SockOpt opt) {
+  co_await host_.cpu().use(model_.host.desc_build_ns);
+  auto& s = sock(sd);
+  switch (opt) {
+    case os::SockOpt::kCredits:
+      co_return static_cast<int>(s->cfg.credits);
+    case os::SockOpt::kDatagram:
+      co_return s->cfg.data_streaming ? 0 : 1;
+    case os::SockOpt::kSndBuf:
+    case os::SockOpt::kRcvBuf:
+      // One value serves both directions: the connection's pre-posted
+      // receive arena is the only buffering the substrate has.
+      co_return static_cast<int>(s->cfg.buffer_bytes);
+    case os::SockOpt::kNoDelay:
+      co_return 0;  // unsupported here (see socket_api.hpp)
+  }
+  co_return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -607,7 +660,7 @@ sim::Task<void> EmpSocketStack::maybe_send_credit_ack(const SockPtr& s,
     m.type = CtrlType::kCreditAck;
     m.a = s->consumed_unacked;
     s->consumed_unacked = 0;
-    ++stats_.credit_acks_tx;
+    ++ctr_.credit_acks_tx;
     co_await send_ctrl(s, m);
   }
 }
@@ -629,6 +682,18 @@ sim::Task<void> EmpSocketStack::repost_slot(const SockPtr& s, Slot& slot) {
 
 sim::Task<std::size_t> EmpSocketStack::read(int sd,
                                             std::span<std::uint8_t> out) {
+  const sim::Time t0 = eng_.now();
+  std::size_t n = co_await read_impl(sd, out);
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, t0, eng_.now() - t0, "read",
+                     "\"sd\":" + std::to_string(sd) +
+                         ",\"bytes\":" + std::to_string(n));
+  }
+  co_return n;
+}
+
+sim::Task<std::size_t> EmpSocketStack::read_impl(int sd,
+                                                 std::span<std::uint8_t> out) {
   auto s = sock(sd);
   if (s->state != Sock::State::kConnected) {
     throw SocketError(SockErr::kInvalid, "read on non-connected socket");
@@ -663,7 +728,7 @@ sim::Task<std::size_t> EmpSocketStack::read(int sd,
       bool consumed = slot.offset >= payload;
       if (!s->cfg.data_streaming && !consumed) {
         // Datagram semantics: the unread tail of this message is lost.
-        ++stats_.truncated_datagrams;
+        ++ctr_.truncated_datagrams;
         consumed = true;
       }
       if (consumed) {
@@ -692,6 +757,18 @@ sim::Task<std::size_t> EmpSocketStack::read(int sd,
 
 sim::Task<std::size_t> EmpSocketStack::write(
     int sd, std::span<const std::uint8_t> in) {
+  const sim::Time t0 = eng_.now();
+  std::size_t n = co_await write_impl(sd, in);
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, t0, eng_.now() - t0, "write",
+                     "\"sd\":" + std::to_string(sd) +
+                         ",\"bytes\":" + std::to_string(n));
+  }
+  co_return n;
+}
+
+sim::Task<std::size_t> EmpSocketStack::write_impl(
+    int sd, std::span<const std::uint8_t> in) {
   auto s = sock(sd);
   if (s->state != Sock::State::kConnected || s->local_closed) {
     throw SocketError(SockErr::kInvalid, "write on non-connected socket");
@@ -718,6 +795,7 @@ sim::Task<std::size_t> EmpSocketStack::write(
 }
 
 sim::Task<void> EmpSocketStack::acquire_credit(const SockPtr& s) {
+  const sim::Time t0 = eng_.now();
   while (s->send_credits == 0) {
     if (s->peer_closed) {
       throw SocketError(SockErr::kClosed, "peer closed while awaiting credit");
@@ -728,6 +806,9 @@ sim::Task<void> EmpSocketStack::acquire_credit(const SockPtr& s) {
     if (!progress) co_await activity_.wait();
   }
   --s->send_credits;
+  // Time write() spent blocked on the §6.1 credit window; ~0 when the
+  // reader keeps up.
+  ctr_.credit_stall_ns.observe(eng_.now() - t0);
 }
 
 sim::Task<std::size_t> EmpSocketStack::eager_write(
@@ -746,7 +827,7 @@ sim::Task<std::size_t> EmpSocketStack::eager_write(
     h.piggyback_credits =
         static_cast<std::uint16_t>(std::min<std::uint32_t>(
             s->consumed_unacked, 0xffff));
-    stats_.credits_piggybacked += h.piggyback_credits;
+    ctr_.credits_piggybacked += h.piggyback_credits;
     s->consumed_unacked -= h.piggyback_credits;
   }
   encode_data_header(h, msg.data());
@@ -755,7 +836,7 @@ sim::Task<std::size_t> EmpSocketStack::eager_write(
   // user-space copy.
   co_await host_.copy(n);
 
-  ++stats_.eager_messages_tx;
+  ++ctr_.eager_messages_tx;
   ++s->data_msgs_sent;
   // write() returns once the send is posted: the data already lives in a
   // registered staging slot that stays untouched until the credit that
@@ -770,7 +851,7 @@ sim::Task<std::size_t> EmpSocketStack::dg_eager_write(
   // Datagram eager path: no header, no staging — EMP DMAs straight out of
   // the user buffer (zero copy at the sender, §6.2).
   co_await acquire_credit(s);
-  ++stats_.eager_messages_tx;
+  ++ctr_.eager_messages_tx;
   ++s->data_msgs_sent;
   auto handle = co_await ep_.post_send(s->peer_node, s->peer_data, in);
   co_await ep_.wait_send_local(handle);
@@ -799,7 +880,7 @@ sim::Task<std::size_t> EmpSocketStack::rendezvous_write(
   }
   s->rend_granted.erase(id);
 
-  ++stats_.rendezvous_messages_tx;
+  ++ctr_.rendezvous_messages_tx;
   ++s->data_msgs_sent;
   // Zero copy: EMP DMAs straight out of the (pinned) user buffer.
   auto handle = co_await ep_.post_send(s->peer_node, s->peer_rend, in);
@@ -823,7 +904,7 @@ sim::Task<std::size_t> EmpSocketStack::dg_read(const SockPtr& s,
       std::size_t n = std::min<std::size_t>(out.size(), claimed->bytes);
       co_await host_.copy(n);
       std::memcpy(out.data(), s->dg_staging.data(), n);
-      if (n < claimed->bytes) ++stats_.truncated_datagrams;
+      if (n < claimed->bytes) ++ctr_.truncated_datagrams;
       ++s->consumed_unacked;
       ++s->data_msgs_consumed;
       co_await maybe_send_credit_ack(s, /*force=*/false);
@@ -872,7 +953,7 @@ sim::Task<std::size_t> EmpSocketStack::dg_read(const SockPtr& s,
       co_await host_.copy(n);
       std::memcpy(out.data(), s->dg_staging.data(), n);
     }
-    if (n < result.bytes) ++stats_.truncated_datagrams;
+    if (n < result.bytes) ++ctr_.truncated_datagrams;
     ++s->consumed_unacked;
     ++s->data_msgs_consumed;
     co_await maybe_send_credit_ack(s, /*force=*/false);
@@ -908,7 +989,7 @@ sim::Task<std::size_t> EmpSocketStack::rendezvous_read(
   std::size_t n = std::min<std::size_t>(out.size(), result.bytes);
   co_await host_.copy(n);
   std::memcpy(out.data(), tmp.data(), n);
-  ++stats_.truncated_datagrams;
+  ++ctr_.truncated_datagrams;
   ++s->data_msgs_consumed;
   co_return n;
 }

@@ -28,6 +28,8 @@
 
 #include "check/registry.hpp"
 #include "emp/endpoint.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "oskernel/host.hpp"
 #include "oskernel/socket_api.hpp"
 #include "sockets/config.hpp"
@@ -35,6 +37,9 @@
 
 namespace ulsocks::sockets {
 
+/// Typed view over the "h<N>/sockets/*" registry counters (obs/metrics.hpp).
+/// The registry is the canonical store; stats() materializes this struct so
+/// existing call sites keep compiling unchanged.
 struct SubstrateStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_initiated = 0;
@@ -63,10 +68,12 @@ class EmpSocketStack final : public os::SocketApi {
                                std::span<const std::uint8_t> in) override;
   sim::Task<void> close(int sd) override;
   sim::Task<void> set_option(int sd, os::SockOpt opt, int value) override;
+  sim::Task<int> get_option(int sd, os::SockOpt opt) override;
   [[nodiscard]] bool readable(int sd) const override;
   [[nodiscard]] sim::CondVar& activity() override { return activity_; }
 
-  [[nodiscard]] const SubstrateStats& stats() const noexcept { return stats_; }
+  /// Materialize the typed stats view from the registry counters.
+  [[nodiscard]] SubstrateStats stats() const noexcept;
   /// Active-socket-table size (§5.3); sockets leave the table only when
   /// both sides have closed and every descriptor has been reclaimed.
   [[nodiscard]] std::size_t active_socket_count() const {
@@ -159,6 +166,13 @@ class EmpSocketStack final : public os::SocketApi {
   /// kCommThread alternative is selected (ablation).
   [[nodiscard]] sim::Task<void> comm_thread_penalty(const SockPtr& s);
 
+  // read()/write() bodies; the public entry points wrap them in a timeline
+  // span without touching every co_return site.
+  [[nodiscard]] sim::Task<std::size_t> read_impl(int sd,
+                                                 std::span<std::uint8_t> out);
+  [[nodiscard]] sim::Task<std::size_t> write_impl(
+      int sd, std::span<const std::uint8_t> in);
+
   // Connection plumbing.
   [[nodiscard]] sim::Task<void> post_connection_resources(const SockPtr& s);
   [[nodiscard]] sim::Task<void> send_ctrl(const SockPtr& s, CtrlMsg m);
@@ -184,13 +198,29 @@ class EmpSocketStack final : public os::SocketApi {
 
   [[nodiscard]] bool front_data_ready(const Sock& s) const;
 
+  /// Registry-backed counter/histogram handles under "h<N>/sockets/".
+  struct Instruments {
+    obs::Counter& connections_accepted;
+    obs::Counter& connections_initiated;
+    obs::Counter& eager_messages_tx;
+    obs::Counter& rendezvous_messages_tx;
+    obs::Counter& credit_acks_tx;
+    obs::Counter& credits_piggybacked;
+    obs::Counter& truncated_datagrams;
+    obs::Counter& closes_tx;
+    obs::Histogram& credit_stall_ns;  // write() blocked waiting for credits
+    explicit Instruments(obs::Scope scope);
+  };
+
   sim::Engine& eng_;
   sim::CostModel model_;
   os::Host& host_;
   emp::EmpEndpoint& ep_;
   SubstrateConfig default_cfg_;
   sim::CondVar activity_;
-  SubstrateStats stats_;
+  Instruments ctr_;
+  obs::Tracer& tracer_;
+  std::uint32_t trk_;  // ("h<N>", "sockets") timeline track
 
   int next_sd_ = 1;
   std::uint16_t next_ephemeral_ = 40'000;

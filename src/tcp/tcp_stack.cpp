@@ -13,6 +13,16 @@ namespace {
 constexpr std::uint64_t kCwndCap = 1 << 20;  // 1 MB: plenty for a LAN
 }
 
+TcpStack::Instruments::Instruments(obs::Scope scope)
+    : segments_tx(scope.counter("segments_tx")),
+      segments_rx(scope.counter("segments_rx")),
+      bytes_tx(scope.counter("bytes_tx")),
+      retransmits(scope.counter("retransmits")),
+      pure_acks_tx(scope.counter("pure_acks_tx")),
+      interrupts(scope.counter("interrupts")),
+      rst_tx(scope.counter("rst_tx")),
+      window_probes(scope.counter("window_probes")) {}
+
 TcpStack::TcpStack(sim::Engine& eng, const sim::CostModel& model,
                    os::Host& host, nic::NicDevice& nic,
                    std::function<net::MacAddress(std::uint16_t)> resolve,
@@ -25,9 +35,26 @@ TcpStack::TcpStack(sim::Engine& eng, const sim::CostModel& model,
       tun_(tunables),
       node_(host.id()),
       activity_(eng),
+      ctr_(obs::Scope(eng.metrics(),
+                      "h" + std::to_string(host.id()) + "/tcp")),
+      tracer_(eng.tracer()),
+      trk_(eng.tracer().track("h" + std::to_string(host.id()), "tcp")),
       next_ephemeral_(tunables.ephemeral_base) {
   nic_.set_rx_handler(net::EtherType::kIpv4,
                       [this](net::FramePtr f) { on_frame(std::move(f)); });
+}
+
+TcpStats TcpStack::stats() const noexcept {
+  TcpStats s;
+  s.segments_tx = ctr_.segments_tx.value();
+  s.segments_rx = ctr_.segments_rx.value();
+  s.bytes_tx = ctr_.bytes_tx.value();
+  s.retransmits = ctr_.retransmits.value();
+  s.pure_acks_tx = ctr_.pure_acks_tx.value();
+  s.interrupts = ctr_.interrupts.value();
+  s.rst_tx = ctr_.rst_tx.value();
+  s.window_probes = ctr_.window_probes.value();
+  return s;
 }
 
 TcpStack::ConnPtr& TcpStack::conn(int sd) {
@@ -119,6 +146,7 @@ sim::Task<void> TcpStack::connect(int sd, SockAddr remote) {
 }
 
 sim::Task<std::size_t> TcpStack::read(int sd, std::span<std::uint8_t> out) {
+  const sim::Time t0 = eng_.now();
   co_await host_.syscall();
   auto c = conn(sd);
   while (c->rcv_buf.empty() && !c->peer_fin && !c->reset) {
@@ -133,11 +161,17 @@ sim::Task<std::size_t> TcpStack::read(int sd, std::span<std::uint8_t> out) {
   c->rcv_buf.erase(c->rcv_buf.begin(),
                    c->rcv_buf.begin() + static_cast<std::ptrdiff_t>(n));
   maybe_send_window_update(c);
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, t0, eng_.now() - t0, "read",
+                     "\"sd\":" + std::to_string(sd) +
+                         ",\"bytes\":" + std::to_string(n));
+  }
   co_return n;
 }
 
 sim::Task<std::size_t> TcpStack::write(int sd,
                                        std::span<const std::uint8_t> in) {
+  const sim::Time t0 = eng_.now();
   co_await host_.syscall();
   auto c = conn(sd);
   if (in.empty()) co_return 0;
@@ -158,6 +192,11 @@ sim::Task<std::size_t> TcpStack::write(int sd,
   c->snd_buf.insert(c->snd_buf.end(), in.begin(),
                     in.begin() + static_cast<std::ptrdiff_t>(n));
   try_output(c);
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, t0, eng_.now() - t0, "write",
+                     "\"sd\":" + std::to_string(sd) +
+                         ",\"bytes\":" + std::to_string(n));
+  }
   co_return n;
 }
 
@@ -216,6 +255,21 @@ sim::Task<void> TcpStack::set_option(int sd, os::SockOpt opt, int value) {
   }
 }
 
+sim::Task<int> TcpStack::get_option(int sd, os::SockOpt opt) {
+  co_await host_.syscall();
+  auto& c = conn(sd);
+  switch (opt) {
+    case os::SockOpt::kSndBuf:
+      co_return static_cast<int>(c->snd_buf_limit);
+    case os::SockOpt::kRcvBuf:
+      co_return static_cast<int>(c->rcv_buf_limit);
+    case os::SockOpt::kNoDelay:
+      co_return c->nodelay ? 1 : 0;
+    default:
+      co_return 0;  // substrate-only options (see socket_api.hpp)
+  }
+}
+
 bool TcpStack::readable(int sd) const {
   const ConnPtr* c = find_conn(sd);
   if (c == nullptr) return false;
@@ -250,11 +304,11 @@ void TcpStack::emit(const ConnPtr& c, Flags flags, std::uint64_t seq,
   seg.flags = flags;
   seg.payload = std::move(payload);
 
-  ++stats_.segments_tx;
-  stats_.bytes_tx += seg.payload.size();
-  if (retransmit) ++stats_.retransmits;
+  ++ctr_.segments_tx;
+  ctr_.bytes_tx += seg.payload.size();
+  if (retransmit) ++ctr_.retransmits;
   if (flags.ack && seg.payload.empty() && !flags.syn && !flags.fin) {
-    ++stats_.pure_acks_tx;
+    ++ctr_.pure_acks_tx;
   }
   if (flags.ack) {
     c->pending_ack_segments = 0;  // this segment carries the ack
@@ -281,7 +335,7 @@ void TcpStack::send_pure_ack(const ConnPtr& c) {
 }
 
 void TcpStack::send_rst(const Segment& to) {
-  ++stats_.rst_tx;
+  ++ctr_.rst_tx;
   Segment seg;
   seg.src_node = node_;
   seg.dst_node = to.src_node;
@@ -407,7 +461,7 @@ void TcpStack::rto_fire(const ConnPtr& c) {
     }
   } else {
     // Zero-window probe: push the first unsent byte past the window.
-    ++stats_.window_probes;
+    ++ctr_.window_probes;
     std::vector<std::uint8_t> probe{c->snd_buf[in_flight(*c)]};
     emit(c, Flags{.ack = true}, c->snd_nxt, std::move(probe));
     c->snd_nxt += 1;
@@ -485,7 +539,8 @@ void TcpStack::schedule_interrupt() {
     if (!irq_scheduled_) return;
     irq_scheduled_ = false;
     if (pending_rx_.empty()) return;
-    ++stats_.interrupts;
+    ++ctr_.interrupts;
+    tracer_.instant(trk_, eng_.now(), "interrupt");
     host_.cpu().run(model_.tcp.interrupt_ns, [this] {
       // Softirq: process everything coalesced into this interrupt.
       std::deque<Segment> batch;
@@ -501,7 +556,7 @@ void TcpStack::schedule_interrupt() {
 }
 
 void TcpStack::process_segment(Segment seg) {
-  ++stats_.segments_rx;
+  ++ctr_.segments_rx;
   auto tup = by_tuple_.find(conn_key(seg.dst_port, seg.src_node,
                                      seg.src_port));
   if (tup == by_tuple_.end()) {

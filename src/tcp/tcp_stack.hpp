@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "nic/nic_device.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "oskernel/host.hpp"
 #include "oskernel/socket_api.hpp"
 #include "sim/cost_model.hpp"
@@ -42,6 +44,9 @@ struct TcpTunables {
   std::uint16_t ephemeral_base = 32'768;
 };
 
+/// Typed view over the "h<N>/tcp/*" registry counters (obs/metrics.hpp).
+/// The registry is the canonical store; stats() materializes this struct so
+/// existing call sites keep compiling unchanged.
 struct TcpStats {
   std::uint64_t segments_tx = 0;
   std::uint64_t segments_rx = 0;
@@ -71,10 +76,12 @@ class TcpStack final : public os::SocketApi {
                                std::span<const std::uint8_t> in) override;
   sim::Task<void> close(int sd) override;
   sim::Task<void> set_option(int sd, os::SockOpt opt, int value) override;
+  sim::Task<int> get_option(int sd, os::SockOpt opt) override;
   [[nodiscard]] bool readable(int sd) const override;
   [[nodiscard]] sim::CondVar& activity() override { return activity_; }
 
-  [[nodiscard]] const TcpStats& stats() const noexcept { return stats_; }
+  /// Materialize the typed stats view from the registry counters.
+  [[nodiscard]] TcpStats stats() const noexcept;
   [[nodiscard]] std::size_t live_socket_count() const {
     return conns_by_sd_.size();
   }
@@ -171,6 +178,19 @@ class TcpStack final : public os::SocketApi {
   void maybe_schedule_gc(const ConnPtr& c);
   void notify() { activity_.notify_all(); }
 
+  /// Registry-backed counter handles under "h<N>/tcp/".
+  struct Instruments {
+    obs::Counter& segments_tx;
+    obs::Counter& segments_rx;
+    obs::Counter& bytes_tx;
+    obs::Counter& retransmits;
+    obs::Counter& pure_acks_tx;
+    obs::Counter& interrupts;
+    obs::Counter& rst_tx;
+    obs::Counter& window_probes;
+    explicit Instruments(obs::Scope scope);
+  };
+
   sim::Engine& eng_;
   sim::CostModel model_;
   os::Host& host_;
@@ -179,7 +199,9 @@ class TcpStack final : public os::SocketApi {
   TcpTunables tun_;
   std::uint16_t node_;
   sim::CondVar activity_;
-  TcpStats stats_;
+  Instruments ctr_;
+  obs::Tracer& tracer_;
+  std::uint32_t trk_;  // ("h<N>", "tcp") timeline track
 
   int next_sd_ = 1;
   std::uint16_t next_ephemeral_;
