@@ -30,21 +30,40 @@ int main(int argc, char** argv) {
   const auto tcp_tuned = StackChoice::tcp(262'144);
   const auto emp = StackChoice::raw_emp();
 
+  // Both sweeps fan out through run_points(): every (size, stack) cell is
+  // an independent simulation, so the pool runs them concurrently and the
+  // results — merged back in job order — are byte-identical to a serial
+  // sweep (each job owns its Engine; see bench/harness.hpp).
+  const unsigned threads = opt.resolved_threads();
+
   std::printf("Figure 13a: latency vs message size (one-way, us)\n\n");
   {
+    const std::size_t sizes[] = {4, 64, 256, 1024, 4096};
+    const StackChoice* stacks[] = {&dg, &ds, &tcp_def};
+    const char* series[] = {"Datagram", "DataStreaming", "TCP"};
+    std::vector<std::function<double()>> jobs;
+    for (std::size_t size : sizes) {
+      for (const StackChoice* stack : stacks) {
+        jobs.push_back(
+            [stack, size, iters] { return measure_latency_us(*stack, size, iters); });
+      }
+    }
+    const auto points = run_points(std::move(jobs), threads);
+
     sim::ResultTable table({"size", "Datagram", "DataStreaming", "TCP",
                             "TCP/DG"});
-    for (std::size_t size : {4ul, 64ul, 256ul, 1024ul, 4096ul}) {
-      double lat_dg = measure_latency_us(dg, size, iters);
-      results.add("Datagram", dg, size_label(size), lat_dg, "us");
-      double lat_ds = measure_latency_us(ds, size, iters);
-      results.add("DataStreaming", ds, size_label(size), lat_ds, "us");
-      double lat_tcp = measure_latency_us(tcp_def, size, iters);
-      results.add("TCP", tcp_def, size_label(size), lat_tcp, "us");
-      table.add_row({size_label(size), sim::ResultTable::num(lat_dg, 1),
-                     sim::ResultTable::num(lat_ds, 1),
-                     sim::ResultTable::num(lat_tcp, 1),
-                     sim::ResultTable::num(lat_tcp / lat_dg, 1)});
+    std::size_t j = 0;
+    for (std::size_t size : sizes) {
+      double lat[3];
+      for (std::size_t s = 0; s < 3; ++s, ++j) {
+        lat[s] = points[j].value;
+        results.add(series[s], *stacks[s], size_label(size), lat[s], "us",
+                    points[j].metrics);
+      }
+      table.add_row({size_label(size), sim::ResultTable::num(lat[0], 1),
+                     sim::ResultTable::num(lat[1], 1),
+                     sim::ResultTable::num(lat[2], 1),
+                     sim::ResultTable::num(lat[2] / lat[0], 1)});
     }
     table.print();
     std::printf(
@@ -53,26 +72,35 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 13b: bandwidth vs message size (Mb/s)\n\n");
   {
+    const std::size_t sizes[] = {1024, 4096, 16384, 65536};
+    const StackChoice* stacks[] = {&ds, &dg, &tcp_def, &tcp_tuned, &emp};
+    const char* series[] = {"bw_Substrate_DS", "bw_Datagram", "bw_TCP_16K",
+                            "bw_TCP_tuned", "bw_raw_EMP"};
+    std::vector<std::function<double()>> jobs;
+    for (std::size_t size : sizes) {
+      for (const StackChoice* stack : stacks) {
+        jobs.push_back([stack, size, total] {
+          return measure_bandwidth_mbps(*stack, size, total);
+        });
+      }
+    }
+    const auto points = run_points(std::move(jobs), threads);
+
     sim::ResultTable table({"size", "Substrate_DS", "Datagram", "TCP_16K",
                             "TCP_tuned", "raw_EMP"});
-    for (std::size_t size : {1024ul, 4096ul, 16384ul, 65536ul}) {
-      double bw_ds = measure_bandwidth_mbps(ds, size, total);
-      results.add("bw_Substrate_DS", ds, size_label(size), bw_ds, "mbps");
-      double bw_dg = measure_bandwidth_mbps(dg, size, total);
-      results.add("bw_Datagram", dg, size_label(size), bw_dg, "mbps");
-      double bw_tcp_def = measure_bandwidth_mbps(tcp_def, size, total);
-      results.add("bw_TCP_16K", tcp_def, size_label(size), bw_tcp_def,
-                  "mbps");
-      double bw_tcp_tuned = measure_bandwidth_mbps(tcp_tuned, size, total);
-      results.add("bw_TCP_tuned", tcp_tuned, size_label(size), bw_tcp_tuned,
-                  "mbps");
-      double bw_emp = measure_bandwidth_mbps(emp, size, total);
-      results.add("bw_raw_EMP", emp, size_label(size), bw_emp, "mbps");
-      table.add_row({size_label(size), sim::ResultTable::num(bw_ds, 0),
-                     sim::ResultTable::num(bw_dg, 0),
-                     sim::ResultTable::num(bw_tcp_def, 0),
-                     sim::ResultTable::num(bw_tcp_tuned, 0),
-                     sim::ResultTable::num(bw_emp, 0)});
+    std::size_t j = 0;
+    for (std::size_t size : sizes) {
+      double bw[5];
+      for (std::size_t s = 0; s < 5; ++s, ++j) {
+        bw[s] = points[j].value;
+        results.add(series[s], *stacks[s], size_label(size), bw[s], "mbps",
+                    points[j].metrics);
+      }
+      table.add_row({size_label(size), sim::ResultTable::num(bw[0], 0),
+                     sim::ResultTable::num(bw[1], 0),
+                     sim::ResultTable::num(bw[2], 0),
+                     sim::ResultTable::num(bw[3], 0),
+                     sim::ResultTable::num(bw[4], 0)});
     }
     table.print();
     std::printf(

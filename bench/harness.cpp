@@ -1,5 +1,9 @@
 #include "harness.hpp"
 
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +11,7 @@
 #include <deque>
 #include <fstream>
 #include <memory>
+#include <thread>
 
 #include "apps/ftp.hpp"
 #include "apps/httpd.hpp"
@@ -22,20 +27,42 @@ using sim::Engine;
 
 constexpr std::uint16_t kPort = 5001;
 
-// Observability state shared by every measure_* routine: the registry
-// snapshot of the last completed run, and the (one-shot) armed trace path.
-std::map<std::string, std::int64_t> g_last_metrics;  // NOLINT
-std::string g_trace_path;                            // NOLINT
+// Observability state of every measure_* routine.  The per-run snapshots
+// are thread_local so run_points() workers each see their own last run;
+// the host-perf totals are process-wide atomics folded into every bench
+// JSON.  The armed trace path stays global: arming a trace forces
+// run_points() serial, so only one thread ever touches it.
+thread_local std::map<std::string, std::int64_t> g_last_metrics;  // NOLINT
+thread_local HostPerf g_last_host_perf;                           // NOLINT
+thread_local std::chrono::steady_clock::time_point g_run_t0;      // NOLINT
+std::string g_trace_path;                                         // NOLINT
+std::atomic<std::uint64_t> g_total_events{0};   // NOLINT
+std::atomic<std::uint64_t> g_total_wall_ns{0};  // NOLINT
+std::atomic<unsigned> g_pool_threads{1};        // NOLINT
 
-/// Call before spawning workload coroutines: turns the tracer on when a
-/// trace export is armed, so the whole run is captured.
+/// Call before spawning workload coroutines: starts the wall clock and
+/// turns the tracer on when a trace export is armed, so the whole run is
+/// captured.
 void arm_run(Engine& eng) {
   if (!g_trace_path.empty()) eng.tracer().set_enabled(true);
+  g_run_t0 = std::chrono::steady_clock::now();
 }
 
-/// Call after eng.run(): snapshots the registry and flushes the armed
-/// trace export (first armed run only — later runs are untraced).
+/// Call after eng.run(): snapshots the registry and host perf, and flushes
+/// the armed trace export (first armed run only — later runs are
+/// untraced).
 void finish_run(Engine& eng) {
+  auto wall = std::chrono::steady_clock::now() - g_run_t0;
+  auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  g_last_host_perf.wall_ms = static_cast<double>(wall_ns) / 1e6;
+  g_last_host_perf.events = eng.events_executed();
+  g_last_host_perf.events_per_sec =
+      wall_ns > 0 ? static_cast<double>(eng.events_executed()) * 1e9 /
+                        static_cast<double>(wall_ns)
+                  : 0.0;
+  g_total_events.fetch_add(eng.events_executed(), std::memory_order_relaxed);
+  g_total_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
   g_last_metrics = eng.metrics().snapshot();
   if (!g_trace_path.empty()) {
     if (!eng.tracer().export_chrome_json(g_trace_path)) {
@@ -47,6 +74,13 @@ void finish_run(Engine& eng) {
     }
     g_trace_path.clear();
   }
+}
+
+/// Peak resident set size of this process, in kilobytes.
+std::int64_t peak_rss_kb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // Linux: kilobytes
 }
 
 std::vector<std::uint8_t> payload(std::size_t n) {
@@ -313,7 +347,61 @@ const std::map<std::string, std::int64_t>& last_run_metrics() {
   return g_last_metrics;
 }
 
+const HostPerf& last_run_host_perf() { return g_last_host_perf; }
+
+std::vector<MeasuredPoint> run_points(
+    std::vector<std::function<double()>> jobs, unsigned threads) {
+  std::vector<MeasuredPoint> out(jobs.size());
+  const bool serial =
+      threads <= 1 || jobs.size() <= 1 || !g_trace_path.empty();
+  if (serial) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      out[i].value = jobs[i]();
+      out[i].metrics = g_last_metrics;
+      out[i].perf = g_last_host_perf;
+    }
+    return out;
+  }
+  const unsigned pool_size =
+      static_cast<unsigned>(std::min<std::size_t>(threads, jobs.size()));
+  unsigned prev = g_pool_threads.load(std::memory_order_relaxed);
+  while (prev < pool_size &&
+         !g_pool_threads.compare_exchange_weak(prev, pool_size,
+                                               std::memory_order_relaxed)) {
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(jobs.size());
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      try {
+        out[i].value = jobs[i]();
+        out[i].metrics = g_last_metrics;  // this worker's own run
+        out[i].perf = g_last_host_perf;
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(pool_size);
+  for (unsigned i = 0; i < pool_size; ++i) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return out;
+}
+
 void set_trace_export(std::string path) { g_trace_path = std::move(path); }
+
+unsigned BenchOptions::resolved_threads() const {
+  if (threads != 0) return threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return hw < 8 ? hw : 8;
+}
 
 BenchOptions parse_bench_args(int argc, char** argv) {
   BenchOptions opt;
@@ -332,9 +420,13 @@ BenchOptions parse_bench_args(int argc, char** argv) {
       opt.trace_path = value();
     } else if (arg == "--out") {
       opt.out_dir = value();
+    } else if (arg == "--threads") {
+      int n = std::atoi(value());
+      opt.threads = n > 0 ? static_cast<unsigned>(n) : 0;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: %s [--iters N] [--trace FILE] [--out DIR]\n",
+                   "usage: %s [--iters N] [--trace FILE] [--out DIR] "
+                   "[--threads N]\n",
                    argv[0]);
       std::exit(0);
     } else {
@@ -354,6 +446,13 @@ void BenchResults::add(std::string_view series, const StackChoice& stack,
                        std::string_view x, double value,
                        std::string_view unit) {
   add(series, stack.name(), stack.config_label(), x, value, unit);
+}
+
+void BenchResults::add(std::string_view series, const StackChoice& stack,
+                       std::string_view x, double value, std::string_view unit,
+                       std::map<std::string, std::int64_t> metrics) {
+  add(series, stack.name(), stack.config_label(), x, value, unit,
+      std::move(metrics));
 }
 
 void BenchResults::add(std::string_view series, std::string_view stack_name,
@@ -382,6 +481,23 @@ std::string BenchResults::write(const std::string& dir) const {
   json += "{\n  \"schema\": \"ulsocks.bench.v1\",\n";
   json += "  \"figure\": \"" + obs::json_escape(figure_) + "\",\n";
   json += "  \"title\": \"" + obs::json_escape(title_) + "\",\n";
+  {
+    const std::uint64_t events =
+        g_total_events.load(std::memory_order_relaxed);
+    const std::uint64_t wall_ns =
+        g_total_wall_ns.load(std::memory_order_relaxed);
+    json += "  \"host_perf\": {\"events\": " + std::to_string(events);
+    json += ", \"wall_ms\": ";
+    append_number(json, static_cast<double>(wall_ns) / 1e6);
+    json += ", \"events_per_sec\": ";
+    append_number(json, wall_ns > 0 ? static_cast<double>(events) * 1e9 /
+                                          static_cast<double>(wall_ns)
+                                    : 0.0);
+    json += ", \"peak_rss_kb\": " + std::to_string(peak_rss_kb());
+    json += ", \"threads\": " +
+            std::to_string(g_pool_threads.load(std::memory_order_relaxed));
+    json += "},\n";
+  }
   json += "  \"points\": [";
   bool first_point = true;
   for (const Point& p : points_) {

@@ -69,9 +69,40 @@ class StackChoice {
   std::string label_;
 };
 
-/// Registry snapshot of the most recent measure_* run (path -> value; see
-/// obs/metrics.hpp for the "h<N>/<layer>/<name>" path scheme).
+/// Registry snapshot of the most recent measure_* run on this thread
+/// (path -> value; see obs/metrics.hpp for the "h<N>/<layer>/<name>" path
+/// scheme).  Thread-local so run_points() workers don't race.
 [[nodiscard]] const std::map<std::string, std::int64_t>& last_run_metrics();
+
+/// Host-side (wall-clock) cost of a simulator run: how fast the simulator
+/// itself executes, as opposed to the simulated result it produces.
+struct HostPerf {
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0;
+};
+
+/// HostPerf of the most recent measure_* run on this thread.
+[[nodiscard]] const HostPerf& last_run_host_perf();
+
+/// One completed measurement job: the measured value plus the metrics and
+/// host-perf snapshots of the run that produced it.
+struct MeasuredPoint {
+  double value = 0;
+  std::map<std::string, std::int64_t> metrics;
+  HostPerf perf;
+};
+
+/// Run independent measurement jobs — each a closure over one measure_*
+/// call — and return their results in job order.  With `threads` > 1 the
+/// jobs run on a thread pool (each job builds its own Engine, so runs are
+/// fully isolated and the simulated results are identical to a serial
+/// sweep; only wall-clock changes).  Falls back to serial when `threads`
+/// <= 1 or a trace export is armed (the trace must capture exactly one
+/// run).  A job that throws rethrows from run_points after all jobs
+/// complete.
+[[nodiscard]] std::vector<MeasuredPoint> run_points(
+    std::vector<std::function<double()>> jobs, unsigned threads);
 
 /// Arm a timeline export: the next measure_* run executes with the tracer
 /// enabled and writes Chrome trace_event JSON to `path` when it finishes.
@@ -81,12 +112,16 @@ void set_trace_export(std::string path);
 ///   --iters N    latency iterations per point (smoke runs use small N)
 ///   --trace F    export a Chrome trace of the first run to F
 ///   --out DIR    directory for BENCH_<figure>.json (default ".")
+///   --threads N  run_points() pool size (0 = auto: hardware threads, <= 8)
 struct BenchOptions {
   int iters = 0;  // 0: the figure's default
   std::string trace_path;
   std::string out_dir = ".";
+  unsigned threads = 0;  // 0: auto
 
   [[nodiscard]] int iters_or(int dflt) const { return iters > 0 ? iters : dflt; }
+  /// Pool size for run_points(): --threads, or the auto default.
+  [[nodiscard]] unsigned resolved_threads() const;
 };
 [[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv);
 
@@ -96,9 +131,17 @@ struct BenchOptions {
 ///   {
 ///     "schema": "ulsocks.bench.v1",
 ///     "figure": "<figure>", "title": "<title>",
+///     "host_perf": {"events": 12345, "wall_ms": 67.8,
+///                   "events_per_sec": 1.8e6, "peak_rss_kb": 34567,
+///                   "threads": 4},
 ///     "points": [{"series", "stack", "config", "x", "value", "unit",
 ///                 "metrics": {"h0/emp/data_frames_tx": 123, ...}}, ...]
 ///   }
+///
+/// host_perf aggregates every run of the process so far: total events,
+/// summed per-run wall time (across pool threads when parallel), and peak
+/// RSS — the "how fast is the simulator itself" record that
+/// scripts/check_hostperf.py gates on.
 ///
 /// as BENCH_<figure>.json so plots and regression checks never scrape the
 /// human tables.
@@ -109,6 +152,10 @@ class BenchResults {
   /// Record the point for the measure_* call that just returned `value`.
   void add(std::string_view series, const StackChoice& stack,
            std::string_view x, double value, std::string_view unit);
+  /// Record a run_points() result (carries its own metrics snapshot).
+  void add(std::string_view series, const StackChoice& stack,
+           std::string_view x, double value, std::string_view unit,
+           std::map<std::string, std::int64_t> metrics);
   /// Record a point that has no StackChoice (raw-parameter ablations).
   void add(std::string_view series, std::string_view stack_name,
            std::string_view config_label, std::string_view x, double value,

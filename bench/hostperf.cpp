@@ -1,0 +1,128 @@
+// Host performance of the simulator itself: wall-clock events/sec on the
+// fig13 microbench workloads, plus a raw engine churn loop.
+//
+// Unlike every other bench, the value here is NOT a simulated quantity —
+// it is how fast this build of the simulator executes on the host.  The
+// committed baseline (bench/baselines/BENCH_hostperf.json) is the
+// regression gate: scripts/check_hostperf.py fails the build if any
+// events/sec point drops more than 25% below it.
+//
+// Methodology: each scenario runs `reps` times and records the best
+// events/sec (best-of-N is robust against scheduler noise on shared CI
+// hosts; medians still drift when the whole host is loaded).  The
+// simulated results of every rep are identical — the engine is
+// deterministic — so best-of changes only the wall-clock estimate.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "harness.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using ulsocks::bench::HostPerf;
+
+/// Pure event-queue churn: four self-rescheduling chains of empty events,
+/// no protocol work at all.  Measures the engine's ceiling.
+HostPerf engine_churn(std::uint64_t total_events) {
+  ulsocks::sim::Engine eng;
+  struct Chain {
+    ulsocks::sim::Engine* eng;
+    std::uint64_t left;
+    void operator()() {
+      if (--left == 0) return;
+      eng->schedule_after(100, Chain{*this});
+    }
+  };
+  for (std::uint64_t lane = 0; lane < 4; ++lane) {
+    eng.schedule_after(lane, Chain{&eng, total_events / 4});
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  eng.run();
+  auto wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  HostPerf p;
+  p.wall_ms = wall_ns / 1e6;
+  p.events = eng.events_executed();
+  p.events_per_sec =
+      wall_ns > 0 ? static_cast<double>(p.events) * 1e9 / wall_ns : 0.0;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ulsocks;
+  using namespace ulsocks::bench;
+
+  const BenchOptions opt = parse_bench_args(argc, argv);
+  // Smoke runs (--iters N) shrink every scenario so CI stays fast; the
+  // committed baseline is recorded with the full defaults.
+  const bool smoke = opt.iters > 0;
+  const int reps = 3;
+
+  BenchResults results("hostperf",
+                       "Simulator host throughput (wall-clock events/sec)");
+  const auto ds = StackChoice::substrate(sockets::preset("ds_da_uq"));
+  const auto emp = StackChoice::raw_emp();
+
+  const std::size_t bw_total = smoke ? (4ul << 20) : (96ul << 20);
+  const int lat_iters = smoke ? opt.iters : 2000;
+
+  struct Scenario {
+    const char* name;
+    const StackChoice* stack;
+    const char* x;
+    std::function<double()> job;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"fig13_bw_64K", &ds, "64K",
+       [&] { return measure_bandwidth_mbps(ds, 65536, bw_total); }},
+      {"fig13_lat_4B", &ds, "4",
+       [&] { return measure_latency_us(ds, 4, lat_iters); }},
+      {"emp_bw_64K", &emp, "64K",
+       [&] { return measure_bandwidth_mbps(emp, 65536, bw_total); }},
+  };
+
+  sim::ResultTable table({"scenario", "stack", "Mev/s", "wall_ms"});
+  for (const auto& sc : scenarios) {
+    HostPerf best{};
+    std::map<std::string, std::int64_t> best_metrics;
+    for (int r = 0; r < reps; ++r) {
+      (void)sc.job();
+      const HostPerf& p = last_run_host_perf();
+      if (p.events_per_sec > best.events_per_sec) {
+        best = p;
+        best_metrics = last_run_metrics();
+      }
+    }
+    results.add(sc.name, sc.stack->name(), sc.stack->config_label(), sc.x,
+                best.events_per_sec, "evps", best_metrics);
+    table.add_row({sc.name, sc.stack->name(),
+                   sim::ResultTable::num(best.events_per_sec / 1e6, 2),
+                   sim::ResultTable::num(best.wall_ms, 1)});
+  }
+
+  {
+    const std::uint64_t n = smoke ? 200'000 : 2'000'000;
+    HostPerf best{};
+    for (int r = 0; r < reps; ++r) {
+      HostPerf p = engine_churn(n);
+      if (p.events_per_sec > best.events_per_sec) best = p;
+    }
+    results.add("engine_churn", "sim", "engine", "empty_events",
+                best.events_per_sec, "evps", {});
+    table.add_row({"engine_churn", "sim",
+                   sim::ResultTable::num(best.events_per_sec / 1e6, 2),
+                   sim::ResultTable::num(best.wall_ms, 1)});
+  }
+
+  table.print();
+  results.write(opt.out_dir);
+  return 0;
+}

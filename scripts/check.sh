@@ -7,6 +7,9 @@
 #   3. The coroutine-capture lint (scripts/lint_coro_captures.py).
 #   4. Bench smoke: a short fig11_latency run must emit a BENCH_*.json
 #      that passes scripts/validate_bench_json.py.
+#   5. Host-perf gate: a Release build runs bench/hostperf and
+#      scripts/check_hostperf.py fails the gate if events/sec dropped
+#      more than 25% below bench/baselines/BENCH_hostperf.json.
 #
 # Usage: scripts/check.sh [build-dir]      (default: build-check)
 set -euo pipefail
@@ -15,7 +18,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/4] Debug + ASan/UBSan build and test"
+echo "==> [1/5] Debug + ASan/UBSan build and test"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DULSOCKS_SANITIZE=address,undefined
@@ -24,7 +27,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> [2/4] clang-tidy"
+echo "==> [2/5] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
   if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -36,13 +39,25 @@ else
   echo "WARNING: clang-tidy not installed; skipping static analysis" >&2
 fi
 
-echo "==> [3/4] coroutine-capture lint"
+echo "==> [3/5] coroutine-capture lint"
 python3 scripts/lint_coro_captures.py src
 
-echo "==> [4/4] bench smoke + results-schema validation"
+echo "==> [4/5] bench smoke + results-schema validation"
 SMOKE_DIR="$BUILD_DIR/bench-smoke"
 mkdir -p "$SMOKE_DIR"
 "$BUILD_DIR/bench/fig11_latency" --iters 3 --out "$SMOKE_DIR" >/dev/null
 python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
+
+echo "==> [5/5] host-perf gate (Release build, full hostperf bench)"
+# Sanitizer builds measure the sanitizer, not the simulator: the host-perf
+# numbers only mean something at -O2/-O3 without instrumentation.
+PERF_DIR="$BUILD_DIR-release"
+cmake -B "$PERF_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$PERF_DIR" -j "$JOBS" --target hostperf
+HOSTPERF_DIR="$PERF_DIR/bench-hostperf"
+mkdir -p "$HOSTPERF_DIR"
+"$PERF_DIR/bench/hostperf" --out "$HOSTPERF_DIR"
+python3 scripts/validate_bench_json.py "$HOSTPERF_DIR/BENCH_hostperf.json"
+python3 scripts/check_hostperf.py "$HOSTPERF_DIR/BENCH_hostperf.json"
 
 echo "==> all checks passed"

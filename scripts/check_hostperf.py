@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Gate simulator host throughput against the committed baseline.
+
+Compares the events/sec ("evps") points of a freshly produced
+BENCH_hostperf.json with bench/baselines/BENCH_hostperf.json and fails if
+any scenario regressed by more than the allowed fraction (default 25%).
+
+The threshold is deliberately loose: the baseline is recorded on one
+machine and CI runs on another, so this catches "someone made the hot path
+2x slower", not single-digit drift.  Scenarios present in only one file
+are reported but do not fail the gate (new scenarios need a baseline
+refresh, which this script prints the command for).
+
+Usage: check_hostperf.py CURRENT [BASELINE] [--min-ratio R]
+  CURRENT    BENCH_hostperf.json from the build under test
+  BASELINE   committed reference (default bench/baselines/BENCH_hostperf.json)
+  R          minimum allowed current/baseline ratio (default 0.75)
+"""
+
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir, "bench", "baselines", "BENCH_hostperf.json",
+)
+DEFAULT_MIN_RATIO = 0.75
+
+
+def evps_points(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    points = {}
+    for p in doc.get("points", []):
+        if p.get("unit") == "evps":
+            points[(p["series"], p["x"])] = float(p["value"])
+    return points
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    min_ratio = DEFAULT_MIN_RATIO
+    for i, a in enumerate(argv):
+        if a == "--min-ratio":
+            min_ratio = float(argv[i + 1])
+            args = [x for x in args if x != argv[i + 1]]
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path = args[0]
+    baseline_path = args[1] if len(args) > 1 else DEFAULT_BASELINE
+
+    try:
+        current = evps_points(current_path)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"ERROR: cannot read current results {current_path}: {e}",
+              file=sys.stderr)
+        return 1
+    try:
+        baseline = evps_points(baseline_path)
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"WARNING: no usable baseline at {baseline_path} ({e}); "
+              "skipping the host-perf gate", file=sys.stderr)
+        return 0
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        series, x = key
+        if key not in current:
+            print(f"WARNING: scenario {series}/{x} missing from current run")
+            continue
+        cur = current[key]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "OK " if ratio >= min_ratio else "FAIL"
+        print(f"{status} {series:<16} x={x:<12} "
+              f"baseline {base / 1e6:8.2f} Mev/s   "
+              f"current {cur / 1e6:8.2f} Mev/s   ratio {ratio:5.2f}")
+        if ratio < min_ratio:
+            failures.append((series, x, ratio))
+    for key in sorted(set(current) - set(baseline)):
+        print(f"NOTE: new scenario {key[0]}/{key[1]} has no baseline; "
+              f"refresh with: cp {current_path} {baseline_path}")
+
+    if failures:
+        print(f"\nERROR: {len(failures)} host-perf regression(s) beyond "
+              f"{(1 - min_ratio) * 100:.0f}% of baseline", file=sys.stderr)
+        return 1
+    print("host-perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

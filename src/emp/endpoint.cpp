@@ -175,19 +175,23 @@ sim::Task<SendHandle> EmpEndpoint::post_send(
   const sim::Time t0 = eng_.now();
   sim::Duration cost = model_.host.desc_build_ns + pin_cost(data.data()) +
                        model_.nic.mailbox_post_ns;
+  // Capture the payload before yielding the CPU: the caller's span only has
+  // to outlive the synchronous prefix of this call, so callers may recycle
+  // one staging buffer across back-to-back sends.
+  std::vector<std::uint8_t> payload(data.begin(), data.end());
   co_await host_cpu_.use(cost);
 
   auto st = std::make_shared<SendState>(eng_);
   st->dst = dst;
   st->tag = tag;
   st->msg_id = next_msg_id_++;
-  st->data.assign(data.begin(), data.end());
-  st->total_frames = frames_for(static_cast<std::uint32_t>(data.size()),
+  st->data = std::move(payload);
+  st->total_frames = frames_for(static_cast<std::uint32_t>(st->data.size()),
                                 model_.wire.mtu);
   ULSOCKS_INVARIANT(
       st->total_frames <= kMaxFramesPerMessage,
       check::msgf("message of %zu bytes exceeds the 16-bit frame count",
-                  data.size()));
+                  st->data.size()));
   pending_sends_[st->msg_id] = st;
   ++ctr_.sends_posted;
 
@@ -327,10 +331,13 @@ std::size_t EmpEndpoint::unexpected_free_count() const {
 
 net::FramePtr EmpEndpoint::make_frame(
     NodeId dst, const EmpHeader& h,
-    std::span<const std::uint8_t> fragment) const {
-  return std::make_unique<net::Frame>(resolve_(dst), nic_.mac(),
-                                      net::EtherType::kEmp,
-                                      encode_frame(h, fragment));
+    std::span<const std::uint8_t> fragment) {
+  net::FramePtr f = nic_.frame_pool().acquire();
+  f->dst = resolve_(dst);
+  f->src = nic_.mac();
+  f->type = net::EtherType::kEmp;
+  encode_frame_into(h, fragment, f->payload);
+  return f;
 }
 
 void EmpEndpoint::transmit_frames(const SendHandle& st,
@@ -340,7 +347,9 @@ void EmpEndpoint::transmit_frames(const SendHandle& st,
   for (std::uint32_t idx = first_frame; idx < total; ++idx) {
     if (retransmit) {
       ++ctr_.retransmitted_frames;
-      tracer_.instant(trk_fw_, eng_.now(), "retransmit");
+      if (tracer_.enabled()) {
+        tracer_.instant(trk_fw_, eng_.now(), "retransmit");
+      }
     }
     std::uint32_t offset0 = idx * frag;
     std::uint32_t len0 = st->data.empty()
@@ -419,11 +428,12 @@ void EmpEndpoint::on_frame(net::FramePtr frame) {
   }
   switch (h.kind) {
     case FrameKind::kData: {
-      std::vector<std::uint8_t> fragment(decoded->fragment.begin(),
-                                         decoded->fragment.end());
-      nic_.fw_rx(model_.fw_rx_frame_cost(fragment.size()),
-                 [this, h, fragment = std::move(fragment)]() mutable {
-                   handle_data(h, std::move(fragment));
+      // The frame itself rides through the firmware pipeline; its payload
+      // backs the fragment until DMA, so no per-frame fragment copy.
+      std::size_t frag_len = decoded->fragment.size();
+      nic_.fw_rx(model_.fw_rx_frame_cost(frag_len),
+                 [this, h, f = std::move(frame)]() mutable {
+                   handle_data(h, std::move(f));
                  });
       break;
     }
@@ -436,8 +446,7 @@ void EmpEndpoint::on_frame(net::FramePtr frame) {
   }
 }
 
-void EmpEndpoint::handle_data(const EmpHeader& h,
-                              std::vector<std::uint8_t> fragment) {
+void EmpEndpoint::handle_data(const EmpHeader& h, net::FramePtr frame) {
   ++ctr_.data_frames_rx;
   const std::uint64_t key = key_of(h.src_node, h.msg_id);
 
@@ -539,14 +548,18 @@ void EmpEndpoint::handle_data(const EmpHeader& h,
           [] {});
       if (too_small_candidate) {
         ++ctr_.too_small_drops;
-        tracer_.instant(trk_fw_, eng_.now(), "drop_too_small");
+        if (tracer_.enabled()) {
+          tracer_.instant(trk_fw_, eng_.now(), "drop_too_small");
+        }
       } else {
         // No descriptor: drop.  The sender's timeout retransmits, exactly
         // the behaviour the substrate's flow control exists to avoid.
         ULS_TRACE(eng_, "emp", "node%u drop src=%u tag=%u msg=%u", self_,
                   h.src_node, h.tag, h.msg_id);
         ++ctr_.unmatched_drops;
-        tracer_.instant(trk_fw_, eng_.now(), "drop_unmatched");
+        if (tracer_.enabled()) {
+          tracer_.instant(trk_fw_, eng_.now(), "drop_unmatched");
+        }
       }
       return;
     }
@@ -555,19 +568,23 @@ void EmpEndpoint::handle_data(const EmpHeader& h,
 
   ctr_.descriptors_walked += walked;
   ctr_.tag_walk_len.observe(walked);
-  tracer_.complete(
-      trk_fw_, eng_.now(),
-      static_cast<sim::Duration>(walked) * model_.nic.tag_match_per_desc_ns,
-      "tag_match");
+  if (tracer_.enabled()) {
+    tracer_.complete(
+        trk_fw_, eng_.now(),
+        static_cast<sim::Duration>(walked) * model_.nic.tag_match_per_desc_ns,
+        "tag_match");
+  }
   nic_.rx_cpu().run(
       static_cast<sim::Duration>(walked) * model_.nic.tag_match_per_desc_ns,
-      [this, binding, h, fragment = std::move(fragment)]() mutable {
-        deliver_fragment(binding, h, std::move(fragment));
+      [this, binding, h, f = std::move(frame)]() mutable {
+        deliver_fragment(binding, h, std::move(f));
       });
 }
 
 void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
-                                   std::vector<std::uint8_t> fragment) {
+                                   net::FramePtr frame) {
+  std::span<const std::uint8_t> fragment =
+      std::span<const std::uint8_t>(frame->payload).subspan(kHeaderBytes);
   std::vector<bool>* got;
   std::uint32_t* received;
   std::uint8_t* dest_base;
@@ -617,7 +634,8 @@ void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
   }
 
   // DMA the fragment to (pinned) memory.  Content moves now; the timing of
-  // "landed" is the DMA completion.
+  // "landed" is the DMA completion.  The frame dies here — back to its
+  // pool.
   std::uint32_t offset = h.frame_index * fragment_size();
   if (!fragment.empty()) {
     std::memcpy(dest_base + offset, fragment.data(), fragment.size());

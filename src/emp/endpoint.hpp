@@ -299,13 +299,15 @@ class EmpEndpoint {
     return (static_cast<std::uint64_t>(src) << 32) | msg_id;
   }
 
-  // NIC-side paths.
+  // NIC-side paths.  The frame travels by FramePtr through the firmware
+  // pipeline — its payload backs the fragment span until the DMA copy in
+  // deliver_fragment, after which the frame returns to the NIC's pool.
   void on_frame(net::FramePtr frame);
-  void handle_data(const EmpHeader& h, std::vector<std::uint8_t> fragment);
+  void handle_data(const EmpHeader& h, net::FramePtr frame);
   void handle_ack(const EmpHeader& h);
   void handle_nack(const EmpHeader& h);
   void deliver_fragment(Binding binding, const EmpHeader& h,
-                        std::vector<std::uint8_t> fragment);
+                        net::FramePtr frame);
   void fragment_landed(const Binding& binding);
   void complete_recv(const RecvHandle& r);
   void unexpected_ready(UnexpectedEntry* u);
@@ -329,7 +331,7 @@ class EmpEndpoint {
   sim::Duration pin_cost(const void* base);
 
   net::FramePtr make_frame(NodeId dst, const EmpHeader& h,
-                           std::span<const std::uint8_t> fragment) const;
+                           std::span<const std::uint8_t> fragment);
 
   [[nodiscard]] std::uint32_t fragment_size() const {
     return max_fragment_bytes(model_.wire.mtu);

@@ -6,14 +6,14 @@ namespace ulsocks::emp {
 
 namespace {
 
-void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
+void store16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
-void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put16(out, static_cast<std::uint16_t>(v));
-  put16(out, static_cast<std::uint16_t>(v >> 16));
+void store32(std::uint8_t* p, std::uint32_t v) {
+  store16(p, static_cast<std::uint16_t>(v));
+  store16(p + 2, static_cast<std::uint16_t>(v >> 16));
 }
 
 std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
@@ -32,20 +32,32 @@ std::uint32_t get32(std::span<const std::uint8_t> in, std::size_t at) {
 std::vector<std::uint8_t> encode_frame(const EmpHeader& h,
                                        std::span<const std::uint8_t> fragment) {
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + fragment.size());
-  out.push_back(static_cast<std::uint8_t>(h.kind));
-  out.push_back(0);  // reserved / alignment
-  put16(out, h.src_node);
-  put16(out, h.dst_node);
-  put16(out, h.tag);
-  put32(out, h.msg_id);
-  put16(out, h.frame_index);
-  put16(out, h.total_frames);
+  encode_frame_into(h, fragment, out);
+  return out;
+}
+
+void encode_frame_into(const EmpHeader& h,
+                       std::span<const std::uint8_t> fragment,
+                       std::vector<std::uint8_t>& out) {
+  // Assemble the header on the stack, then append header and payload as
+  // two bulk ranges: one capacity check per range instead of one per byte
+  // (this runs once per frame on the simulator's hottest path).
+  std::uint8_t hdr[kHeaderBytes];
+  hdr[0] = static_cast<std::uint8_t>(h.kind);
+  hdr[1] = 0;  // reserved / alignment
+  store16(hdr + 2, h.src_node);
+  store16(hdr + 4, h.dst_node);
+  store16(hdr + 6, h.tag);
+  store32(hdr + 8, h.msg_id);
+  store16(hdr + 12, h.frame_index);
+  store16(hdr + 14, h.total_frames);
   // The final word is msg_bytes for data frames and ack_value for control
   // frames (control frames carry no payload, data frames carry no ack).
-  put32(out, h.kind == FrameKind::kData ? h.msg_bytes : h.ack_value);
+  store32(hdr + 16, h.kind == FrameKind::kData ? h.msg_bytes : h.ack_value);
+  out.clear();
+  out.reserve(kHeaderBytes + fragment.size());
+  out.insert(out.end(), hdr, hdr + kHeaderBytes);
   out.insert(out.end(), fragment.begin(), fragment.end());
-  return out;
 }
 
 std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> p) {

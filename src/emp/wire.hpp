@@ -62,6 +62,12 @@ inline constexpr std::size_t kHeaderBytes = 20;
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(
     const EmpHeader& h, std::span<const std::uint8_t> fragment);
 
+/// Same, but into `out` (cleared first).  Lets pooled frames reuse their
+/// payload vector's capacity instead of allocating per frame.
+void encode_frame_into(const EmpHeader& h,
+                       std::span<const std::uint8_t> fragment,
+                       std::vector<std::uint8_t>& out);
+
 /// Parse a frame payload.  Returns nullopt for malformed payloads (too
 /// short, bad kind, or length mismatch).
 struct DecodedFrame {

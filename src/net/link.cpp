@@ -34,10 +34,9 @@ sim::Time Link::transmit(Side side, FramePtr frame) {
   }
 
   sim::Time arrival = from.busy_until + propagation_ns_;
-  // Shared ownership keeps the lambda copyable for std::function.
-  auto shared = std::make_shared<FramePtr>(std::move(frame));
-  eng_.schedule_at(arrival, [sink = to.sink, shared] {
-    if (sink) sink->frame_arrived(std::move(*shared));
+  // EventFn is move-only, so the frame travels in the event itself.
+  eng_.schedule_at(arrival, [sink = to.sink, f = std::move(frame)]() mutable {
+    if (sink) sink->frame_arrived(std::move(f));
   });
   return from.busy_until;
 }

@@ -16,6 +16,7 @@ EthernetSwitch::EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
       trk_(eng.tracer().track("net", "switch")),
       inv_check_(eng.checks(), "net.switch",
                  [this] { check_invariants(); }) {
+  pool_.bind_hwm_gauge(scope_.gauge("frame_pool_hwm"));
   ports_.reserve(port_count);
   for (std::size_t i = 0; i < port_count; ++i) {
     auto port = std::make_unique<Port>();
@@ -61,31 +62,70 @@ void EthernetSwitch::connect(std::size_t port, Link& link, Link::Side side) {
 }
 
 void EthernetSwitch::ingress(std::size_t port, FramePtr frame) {
-  // Learn the source address.
-  table_[frame->src] = port;
+  // Learn the source address.  Skip the table write when this port's last
+  // learned source is unchanged — the overwhelmingly common case, since a
+  // port fronts a single host.
+  Port& in = *ports_[port];
+  if (!in.learn_valid || in.last_learned_src != frame->src) {
+    auto [it, inserted] = table_.try_emplace(frame->src, port);
+    if (!inserted && it->second != port) {
+      // The MAC moved here from another port: take over its table entry
+      // and invalidate the previous owner's learn cache so it re-learns.
+      Port& prev = *ports_[it->second];
+      if (prev.learn_valid && prev.last_learned_src == frame->src) {
+        prev.learn_valid = false;
+      }
+      it->second = port;
+      ++generation_;
+    } else if (inserted) {
+      ++generation_;
+    }
+    in.last_learned_src = frame->src;
+    in.learn_valid = true;
+  }
 
   // Store-and-forward lookup latency, then route.
-  tracer_.complete(trk_, eng_.now(), wire_.switch_latency_ns, "forward");
-  auto shared = std::make_shared<FramePtr>(std::move(frame));
-  eng_.schedule_after(wire_.switch_latency_ns, [this, port, shared] {
-    Frame& f = **shared;
-    auto it = f.dst.is_broadcast() ? table_.end() : table_.find(f.dst);
-    if (it != table_.end()) {
-      if (it->second != port) {
-        ++forwarded_;
-        enqueue(it->second, std::move(*shared));
-      }
-      // Frames "forwarded" back out the ingress port are dropped, matching
-      // real switch behaviour for hosts talking to themselves.
-      return;
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, eng_.now(), wire_.switch_latency_ns, "forward");
+  }
+  eng_.schedule_after(wire_.switch_latency_ns,
+                      [this, port, f = std::move(frame)]() mutable {
+                        route(port, std::move(f));
+                      });
+}
+
+void EthernetSwitch::route(std::size_t port, FramePtr frame) {
+  Port& in = *ports_[port];
+  // Route memo: the last successfully looked-up destination from this
+  // port, valid only while the learning table is unchanged.
+  if (in.memo_generation == generation_ && in.memo_dst == frame->dst) {
+    if (in.memo_out != port) {
+      ++forwarded_;
+      enqueue(in.memo_out, std::move(frame));
     }
-    // Unknown destination or broadcast: flood all other ports.
-    ++flooded_;
-    for (std::size_t p = 0; p < ports_.size(); ++p) {
-      if (p == port || ports_[p]->link == nullptr) continue;
-      enqueue(p, std::make_unique<Frame>(**shared));
+    return;
+  }
+  auto it =
+      frame->dst.is_broadcast() ? table_.end() : table_.find(frame->dst);
+  if (it != table_.end()) {
+    in.memo_dst = frame->dst;
+    in.memo_out = it->second;
+    in.memo_generation = generation_;
+    if (it->second != port) {
+      ++forwarded_;
+      enqueue(it->second, std::move(frame));
     }
-  });
+    // Frames "forwarded" back out the ingress port are dropped, matching
+    // real switch behaviour for hosts talking to themselves.
+    return;
+  }
+  // Unknown destination or broadcast: flood pooled copies to all other
+  // ports; the original returns to its pool when `frame` dies here.
+  ++flooded_;
+  for (std::size_t p = 0; p < ports_.size(); ++p) {
+    if (p == port || ports_[p]->link == nullptr) continue;
+    enqueue(p, pool_.acquire_copy(*frame));
+  }
 }
 
 void EthernetSwitch::enqueue(std::size_t port, FramePtr frame) {
@@ -94,7 +134,7 @@ void EthernetSwitch::enqueue(std::size_t port, FramePtr frame) {
   std::uint64_t bytes = frame->wire_bytes();
   if (out.queued_bytes + bytes > wire_.switch_port_buffer_bytes) {
     ++dropped_;  // drop-tail on egress buffer overflow
-    tracer_.instant(trk_, eng_.now(), "drop_tail");
+    if (tracer_.enabled()) tracer_.instant(trk_, eng_.now(), "drop_tail");
     return;
   }
   out.queued_bytes += bytes;

@@ -70,16 +70,31 @@ class EthernetSwitch {
     std::deque<FramePtr> queue;
     std::uint64_t queued_bytes = 0;
     bool draining = false;
+    // Hot-path caches.  A port usually fronts one host, so its source
+    // address and the destination it talks to repeat frame after frame;
+    // both caches skip a hash lookup per frame.  The learn cache is
+    // invalidated port-locally when another port steals its source MAC
+    // (the only way its table entry can change under it); the route memo
+    // is stamped with the table generation, so any table write anywhere
+    // invalidates it.
+    MacAddress last_learned_src{};
+    bool learn_valid = false;
+    MacAddress memo_dst{};
+    std::size_t memo_out = 0;
+    std::uint64_t memo_generation = 0;  // 0 = empty (generation_ starts at 1)
   };
 
   void ingress(std::size_t port, FramePtr frame);
+  void route(std::size_t port, FramePtr frame);
   void enqueue(std::size_t port, FramePtr frame);
   void drain(std::size_t port);
 
   sim::Engine& eng_;
   sim::WireCosts wire_;
+  FramePool pool_;  // recycles flood copies
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<MacAddress, std::size_t> table_;
+  std::uint64_t generation_ = 1;  // bumped on every learning-table write
   obs::Scope scope_;  // "net/switch" registry prefix
   obs::Counter& forwarded_;
   obs::Counter& flooded_;

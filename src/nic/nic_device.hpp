@@ -49,6 +49,7 @@ class NicDevice final : public net::FrameSink {
         tracer_(eng.tracer()),
         trk_(eng.tracer().track("h" + std::to_string(mac.host_index()),
                                 "nic")) {
+    pool_.bind_hwm_gauge(scope_.gauge("frame_pool_hwm"));
     link_.attach(side_, this);
   }
 
@@ -62,16 +63,21 @@ class NicDevice final : public net::FrameSink {
     return dual_cpu_ ? rx_cpu_ : tx_cpu_;
   }
 
+  /// The host's frame recycler: every frame this NIC originates (EMP and
+  /// kernel-TCP paths alike) is acquired here and returns here after the
+  /// receive side is done with it.
+  [[nodiscard]] net::FramePool& frame_pool() noexcept { return pool_; }
+
   /// Schedule firmware work on the transmit / receive processor.
-  void fw_tx(sim::Duration cost, std::function<void()> fn) {
+  void fw_tx(sim::Duration cost, sim::EventFn fn) {
     tx_cpu().run(cost, std::move(fn));
   }
-  void fw_rx(sim::Duration cost, std::function<void()> fn) {
+  void fw_rx(sim::Duration cost, sim::EventFn fn) {
     rx_cpu().run(cost, std::move(fn));
   }
 
   /// One DMA transfer of `bytes` across the host bus (setup + per byte).
-  void dma_transfer(std::uint64_t bytes, std::function<void()> done) {
+  void dma_transfer(std::uint64_t bytes, sim::EventFn done) {
     if (tracer_.enabled()) {
       tracer_.complete(trk_, eng_.now(), model_.dma_cost(bytes), "dma",
                        "\"bytes\":" + std::to_string(bytes));
@@ -133,7 +139,7 @@ class NicDevice final : public net::FrameSink {
     net::FramePtr frame = std::move(tx_queue_.front());
     tx_queue_.pop_front();
     sim::Duration ser = link_.serialization_time(*frame);
-    tracer_.complete(trk_, eng_.now(), ser, "mac_tx");
+    if (tracer_.enabled()) tracer_.complete(trk_, eng_.now(), ser, "mac_tx");
     link_.transmit(side_, std::move(frame));
     eng_.schedule_after(ser, [this] { drain_tx(); });
   }
@@ -147,6 +153,7 @@ class NicDevice final : public net::FrameSink {
   sim::SerialResource tx_cpu_;
   sim::SerialResource rx_cpu_;
   sim::SerialResource dma_;
+  net::FramePool pool_;
   std::deque<net::FramePtr> tx_queue_;
   bool tx_draining_ = false;
   std::function<void(net::FramePtr)> rx_emp_;

@@ -11,18 +11,20 @@
 // events, never inline, so causality always follows queue order.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "check/invariant.hpp"
 #include "check/registry.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/random.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
@@ -53,17 +55,41 @@ class Engine {
   /// Schedule `fn` to run at absolute time `t` (>= now()).  Scheduling in
   /// the past would break causality (and, silently, determinism), so the
   /// check is an always-on invariant rather than a compiled-out assert.
-  void schedule_at(Time t, std::function<void()> fn) {
+  ///
+  /// `fn` is an EventFn (sim/inline_function.hpp): move-only, and captures
+  /// up to its inline capacity cost no heap allocation.
+  void schedule_at(Time t, EventFn fn) {
     ULSOCKS_INVARIANT(
         t >= now_,
         check::msgf("schedule_at in the past: t=%llu < now=%llu",
                     static_cast<unsigned long long>(t),
                     static_cast<unsigned long long>(now_)));
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = slot_count_++;
+      if ((slot & (kSlotPageSize - 1)) == 0) {
+        slot_pages_.push_back(std::make_unique<EventFn[]>(kSlotPageSize));
+      }
+    }
+    slot_ref(slot) = std::move(fn);
+    // Two-level queue: events inside the near horizon go to the small hot
+    // heap, far-future ones (retransmit timers, mostly) to the far heap.
+    // The strict `t < horizon_` split keeps min(near) < horizon_ <=
+    // min(far), so the near heap's top is always the global minimum and
+    // the pop order — and therefore the digest — is identical to a single
+    // queue's.
+    if (t < horizon_) {
+      heap_push(heap_, HeapItem{t, next_seq_++, slot});
+    } else {
+      heap_push(far_, HeapItem{t, next_seq_++, slot});
+    }
   }
 
   /// Schedule `fn` to run `dt` from now.
-  void schedule_after(Duration dt, std::function<void()> fn) {
+  void schedule_after(Duration dt, EventFn fn) {
     schedule_at(now_ + dt, std::move(fn));
   }
 
@@ -98,7 +124,7 @@ class Engine {
   /// Run until the queue drains, `request_stop()` is called, or a spawned
   /// process fails (rethrown as ProcessError).
   void run() {
-    while (!stop_ && !queue_.empty()) {
+    while (!stop_ && pending()) {
       step();
       if (root_error_) {
         auto err = root_error_;
@@ -111,7 +137,7 @@ class Engine {
   /// Run until simulated time would exceed `deadline` (events at exactly
   /// `deadline` still run).  Returns true if the queue drained.
   bool run_until(Time deadline) {
-    while (!stop_ && !queue_.empty() && queue_.top().t <= deadline) {
+    while (!stop_ && pending() && next_time() <= deadline) {
       step();
       if (root_error_) {
         auto err = root_error_;
@@ -119,10 +145,10 @@ class Engine {
         std::rethrow_exception(err);
       }
     }
-    if (!queue_.empty() && queue_.top().t > deadline && now_ < deadline) {
+    if (pending() && next_time() > deadline && now_ < deadline) {
       now_ = deadline;
     }
-    return queue_.empty();
+    return !pending();
   }
 
   /// Stop run() after the current event.
@@ -163,22 +189,95 @@ class Engine {
   /// set 1 to catch corruption on the very next event.
   void set_check_interval(std::uint64_t every_n_events) noexcept {
     check_interval_ = every_n_events;
+    check_countdown_ = every_n_events;
   }
   [[nodiscard]] std::uint64_t check_interval() const noexcept {
     return check_interval_;
   }
 
  private:
-  struct Event {
+  // The heap orders trivially-copyable 24-byte nodes; the (potentially
+  // 100-byte) callable lives in a stable slot in `slots_`.  Heap sift
+  // moves are then plain POD copies the compiler turns into memmoves —
+  // profiling showed sifting full fat events (inline-capture relocation
+  // through an indirect call per move) dominated the hot loop.
+  struct HeapItem {
     Time t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+  static_assert(std::is_trivially_copyable_v<HeapItem>);
+  // Orders the heap so the front element is the minimum (t, seq).  (t, seq)
+  // is a strict total order — seq is unique — so any valid heap over the
+  // same pending set pops in exactly one order, which is why the digest is
+  // insensitive to the heap's internal layout (binary vs. 4-ary, and any
+  // sift implementation).
+  static bool before(const HeapItem& a, const HeapItem& b) noexcept {
+    return a.t < b.t || (a.t == b.t && a.seq < b.seq);
+  }
+
+  // 4-ary min-heap.  Shallower than a binary heap (log4 vs log2 levels)
+  // and the four children share a cache line pair, which matters because
+  // queue sifting is the simulator's single hottest loop.  Sift-up and
+  // sift-down move a hole instead of swapping, so each level costs one
+  // 24-byte copy.
+  static void heap_push(std::vector<HeapItem>& h, HeapItem it) {
+    std::size_t i = h.size();
+    h.push_back(it);  // reserve the leaf; overwritten below
+    while (i > 0) {
+      std::size_t parent = (i - 1) >> 2;
+      if (!before(it, h[parent])) break;
+      h[i] = h[parent];
+      i = parent;
     }
-  };
+    h[i] = it;
+  }
+
+  static HeapItem heap_pop(std::vector<HeapItem>& h) {
+    HeapItem top = h[0];
+    HeapItem last = h.back();
+    h.pop_back();
+    std::size_t n = h.size();
+    if (n != 0) {
+      std::size_t i = 0;
+      for (;;) {
+        std::size_t child = 4 * i + 1;
+        if (child >= n) break;
+        std::size_t best = child;
+        std::size_t end = child + 4 < n ? child + 4 : n;
+        for (std::size_t k = child + 1; k < end; ++k) {
+          if (before(h[k], h[best])) best = k;
+        }
+        if (!before(h[best], last)) break;
+        h[i] = h[best];
+        i = best;
+      }
+      h[i] = last;
+    }
+    return top;
+  }
+
+  [[nodiscard]] bool pending() const noexcept {
+    return !heap_.empty() || !far_.empty();
+  }
+
+  /// Refill the near heap from the far heap if it drained.  Advancing the
+  /// horizon to (min far time + window) migrates at least one event, so
+  /// the loop body runs at most once per call with a non-empty far heap.
+  void refill_near() {
+    while (heap_.empty() && !far_.empty()) {
+      horizon_ = far_[0].t + kNearWindow;
+      while (!far_.empty() && far_[0].t < horizon_) {
+        heap_push(heap_, heap_pop(far_));
+      }
+    }
+  }
+
+  /// Timestamp of the next event to fire.  Pre: pending().
+  [[nodiscard]] Time next_time() {
+    refill_near();
+    return heap_[0].t;
+  }
 
   // splitmix64 finalizer: cheap, well-mixed fold for the event digest.
   static constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
@@ -189,25 +288,33 @@ class Engine {
   }
 
   void step() {
-    // priority_queue::top() is const; move out via const_cast, which is
-    // safe because pop() immediately removes the moved-from element.
-    auto& top = const_cast<Event&>(queue_.top());
-    Time t = top.t;
-    std::uint64_t seq = top.seq;
-    auto fn = std::move(top.fn);
-    queue_.pop();
+    // Owning the heap directly (vs. std::priority_queue) lets the next
+    // event be moved out of storage legitimately — no const_cast.
+    refill_near();
+    const HeapItem ev = heap_pop(heap_);
     ULSOCKS_INVARIANT(
-        t >= now_,
+        ev.t >= now_,
         check::msgf("event time went backwards: t=%llu < now=%llu",
-                    static_cast<unsigned long long>(t),
+                    static_cast<unsigned long long>(ev.t),
                     static_cast<unsigned long long>(now_)));
-    now_ = t;
+    now_ = ev.t;
     ++events_executed_;
-    digest_ = mix64(digest_ ^ t);
-    digest_ = mix64(digest_ ^ seq);
+    digest_ = mix64(digest_ ^ ev.t);
+    digest_ = mix64(digest_ ^ ev.seq);
+    // Execute in place: slot pages are address-stable (the page directory
+    // may grow during fn(), the pages never move), so no relocating move of
+    // the inline capture is needed per event.  The slot is recycled only
+    // after fn() returns, so an event scheduling new events can never be
+    // handed its own still-running slot.
+    EventFn& fn = slot_ref(ev.slot);
     fn();
-    if (check_interval_ != 0 && events_executed_ % check_interval_ == 0) {
+    fn.reset();
+    free_slots_.push_back(ev.slot);
+    // Countdown instead of `events_executed_ % interval`: one decrement
+    // and branch per event, no integer division in the hot loop.
+    if (check_countdown_ != 0 && --check_countdown_ == 0) {
       checks_.run_all();
+      check_countdown_ = check_interval_;
     }
   }
 
@@ -221,8 +328,12 @@ class Engine {
   }
 
   void maybe_reap() {
-    if (roots_.size() < 64) return;
+    if (roots_.size() < reap_watermark_) return;
     std::erase_if(roots_, [](const Task<void>& t) { return t.done(); });
+    // Back off geometrically: the next full scan happens only once the
+    // surviving set has doubled, so N spawns cost O(N) amortized scanning
+    // instead of the O(N^2) of sweeping every spawn past a fixed floor.
+    reap_watermark_ = std::max<std::size_t>(64, roots_.size() * 2);
   }
 
   Time now_ = 0;
@@ -230,12 +341,35 @@ class Engine {
   std::uint64_t events_executed_ = 0;
   std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // pi, arbitrary non-zero
   std::uint64_t check_interval_ = 1024;
+  std::uint64_t check_countdown_ = 1024;
   check::Registry checks_;
   obs::Registry metrics_;
   obs::Tracer tracer_;
+  // Callable storage: fixed-size pages so slot addresses stay stable while
+  // events run (a std::vector<EventFn> could reallocate under a running
+  // event that schedules).  kSlotPageSize is a power of two so slot_ref()
+  // is shift+mask.
+  static constexpr std::uint32_t kSlotPageSize = 1024;
+  [[nodiscard]] EventFn& slot_ref(std::uint32_t s) noexcept {
+    return slot_pages_[s / kSlotPageSize][s & (kSlotPageSize - 1)];
+  }
+
+  // Near/far split: the near heap holds events with t < horizon_ and stays
+  // small (tens of entries), so the per-event sifts run in cache; the far
+  // heap absorbs long-dated timers and is touched only on schedule and on
+  // horizon advances.  The window trades near-heap size against advance
+  // frequency; 64 us spans the simulator's burst activity comfortably.
+  static constexpr Duration kNearWindow = 65536;
+
   bool stop_ = false;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapItem> heap_;  // near 4-ary min-heap keyed on (t, seq)
+  std::vector<HeapItem> far_;   // far 4-ary min-heap (t >= horizon_)
+  Time horizon_ = 0;            // strict upper bound on near-heap times
+  std::vector<std::unique_ptr<EventFn[]>> slot_pages_;
+  std::vector<std::uint32_t> free_slots_;  // recycled slot indices
+  std::uint32_t slot_count_ = 0;           // slots ever created
   std::vector<Task<void>> roots_;
+  std::size_t reap_watermark_ = 64;
   std::exception_ptr root_error_;
   Rng rng_;
 };

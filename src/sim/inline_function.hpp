@@ -1,0 +1,197 @@
+// Small-buffer-optimized, move-only callable for the simulation hot path.
+//
+// Every event the engine executes used to be a `std::function<void()>`,
+// which heap-allocates for any capture list larger than libstdc++'s
+// 16-byte inline buffer — i.e. for nearly every protocol lambda in this
+// codebase ([this, st, idx, total, offset, len] is already 40 bytes).  At
+// millions of events per second that allocation *is* the simulator's
+// profile.  InlineFunction stores captures up to `Capacity` bytes inline
+// in the event object itself; bigger ("spilled") captures are carved from
+// a per-thread freelist of fixed-size blocks, so even the overflow path is
+// allocation-free at steady state.
+//
+// Unlike std::function, InlineFunction is move-only and accepts move-only
+// captures.  That is a feature: frames and payload vectors can be moved
+// through an event chain (NIC -> link -> switch -> NIC) instead of being
+// wrapped in shared_ptr or copied per hop just to satisfy copyability.
+//
+// Thread model: the freelist is thread_local, matching the engine's "one
+// engine per thread" discipline (bench/harness.cpp run_points).  Blocks
+// never migrate between threads because events never leave their engine.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ulsocks::sim {
+
+namespace detail_ifn {
+
+/// Spill blocks are one fixed size so freed blocks can serve any later
+/// spilled capture without bookkeeping; captures beyond kSpillBlockBytes
+/// (rare: a whole struct by value) fall through to plain operator new.
+inline constexpr std::size_t kSpillBlockBytes = 256;
+inline constexpr std::size_t kSpillFreeMax = 4096;  // blocks kept per thread
+
+struct SpillBlock {
+  SpillBlock* next;
+};
+
+struct SpillFreeList {
+  SpillBlock* head = nullptr;
+  std::size_t count = 0;
+  ~SpillFreeList() {
+    while (head != nullptr) {
+      SpillBlock* b = head;
+      head = b->next;
+      ::operator delete(static_cast<void*>(b));
+    }
+  }
+};
+
+inline thread_local SpillFreeList spill_free_list;
+
+inline void* spill_alloc(std::size_t bytes) {
+  if (bytes <= kSpillBlockBytes) {
+    SpillFreeList& fl = spill_free_list;
+    if (fl.head != nullptr) {
+      SpillBlock* b = fl.head;
+      fl.head = b->next;
+      --fl.count;
+      return b;
+    }
+    return ::operator new(kSpillBlockBytes);
+  }
+  return ::operator new(bytes);
+}
+
+inline void spill_free(void* p, std::size_t bytes) noexcept {
+  if (bytes <= kSpillBlockBytes) {
+    SpillFreeList& fl = spill_free_list;
+    if (fl.count < kSpillFreeMax) {
+      auto* b = static_cast<SpillBlock*>(p);
+      b->next = fl.head;
+      fl.head = b;
+      ++fl.count;
+      return;
+    }
+  }
+  ::operator delete(p);
+}
+
+}  // namespace detail_ifn
+
+template <std::size_t Capacity = 88, std::size_t Align = 16>
+class InlineFunction {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFunction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void operator()() { ops_->call(obj_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(obj_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (tests).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && obj_ == static_cast<const void*>(buf_);
+  }
+
+ private:
+  struct Ops {
+    void (*call)(void*);
+    // Move-construct into dst and destroy src.  Null for spilled callables,
+    // which relocate by pointer swap instead.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <class F>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(alignof(Fn) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "over-aligned captures are not supported");
+    if constexpr (sizeof(Fn) <= Capacity && alignof(Fn) <= Align &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      static constexpr Ops ops{
+          [](void* o) { (*static_cast<Fn*>(o))(); },
+          [](void* dst, void* src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+          },
+          [](void* o) { static_cast<Fn*>(o)->~Fn(); },
+      };
+      obj_ = ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &ops;
+    } else {
+      static constexpr Ops ops{
+          [](void* o) { (*static_cast<Fn*>(o))(); },
+          nullptr,
+          [](void* o) {
+            static_cast<Fn*>(o)->~Fn();
+            detail_ifn::spill_free(o, sizeof(Fn));
+          },
+      };
+      void* p = detail_ifn::spill_alloc(sizeof(Fn));
+      try {
+        obj_ = ::new (p) Fn(std::forward<F>(f));
+      } catch (...) {
+        detail_ifn::spill_free(p, sizeof(Fn));
+        throw;
+      }
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(buf_, other.obj_);
+      obj_ = buf_;
+    } else {
+      obj_ = other.obj_;  // spilled: steal the block
+    }
+    other.ops_ = nullptr;
+  }
+
+  void* obj_ = nullptr;
+  const Ops* ops_ = nullptr;
+  alignas(Align) std::byte buf_[Capacity];
+};
+
+/// The engine's event callable.  88 bytes of inline capture covers every
+/// hot-path lambda in the protocol stacks (the largest, EMP fragment
+/// delivery, captures this + Binding + EmpHeader + FramePtr = 64 bytes).
+using EventFn = InlineFunction<>;
+
+}  // namespace ulsocks::sim

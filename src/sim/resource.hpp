@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "sim/engine.hpp"
@@ -24,7 +23,7 @@ class SerialResource {
 
   /// Enqueue a job costing `cost`; `done` (optional) runs at completion.
   /// Returns the completion time.
-  Time run(Duration cost, std::function<void()> done = {}) {
+  Time run(Duration cost, EventFn done = {}) {
     Time start = busy_until_ > eng_.now() ? busy_until_ : eng_.now();
     busy_until_ = start + cost;
     busy_total_ += cost;

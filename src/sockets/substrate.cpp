@@ -131,6 +131,15 @@ void EmpSocketStack::release_arena(std::vector<std::uint8_t> arena) {
   arena_pool_[arena.size()].push_back(std::move(arena));
 }
 
+std::span<const std::uint8_t> EmpSocketStack::stage_ctrl(
+    std::vector<std::uint8_t> encoded) {
+  if (ctrl_staging_.capacity() < 256) ctrl_staging_.reserve(256);
+  ULSOCKS_INVARIANT(encoded.size() <= ctrl_staging_.capacity(),
+                    "control message exceeds the staging reservation");
+  ctrl_staging_.assign(encoded.begin(), encoded.end());
+  return ctrl_staging_;
+}
+
 emp::Tag EmpSocketStack::alloc_tags(TagRole role) {
   // Prefer fresh tags and recycle oldest-freed last: a late message from a
   // closed connection (a straggling Close or credit ack) must not match a
@@ -330,7 +339,7 @@ sim::Task<void> EmpSocketStack::connect(int sd, SockAddr remote) {
   req.credits = s->cfg.credits;
   req.buffer_bytes = s->cfg.buffer_bytes;
   auto h = co_await ep_.post_send(remote.node, listen_tag(remote.port),
-                                  encode_conn_request(req));
+                                  stage_ctrl(encode_conn_request(req)));
   ++ctr_.connections_initiated;
   eng_.spawn(pump(s));
 
@@ -404,7 +413,7 @@ sim::Task<int> EmpSocketStack::accept(int sd, SockAddr* peer) {
       eng_.spawn(pump(child));
       ++ctr_.connections_accepted;
       if (peer != nullptr) *peer = child->remote;
-      tracer_.instant(trk_, eng_.now(), "accept");
+      if (tracer_.enabled()) tracer_.instant(trk_, eng_.now(), "accept");
       co_return child_sd;
     }
     co_await activity_.wait();
@@ -495,7 +504,8 @@ sim::Task<int> EmpSocketStack::get_option(int sd, os::SockOpt opt) {
 // ---------------------------------------------------------------------------
 
 sim::Task<void> EmpSocketStack::send_ctrl(const SockPtr& s, CtrlMsg m) {
-  auto h = co_await ep_.post_send(s->peer_node, s->peer_ctrl, encode_ctrl(m));
+  auto h = co_await ep_.post_send(s->peer_node, s->peer_ctrl,
+                                  stage_ctrl(encode_ctrl(m)));
   (void)h;  // EMP's reliability delivers it; no need to block
 }
 
@@ -980,15 +990,17 @@ sim::Task<std::size_t> EmpSocketStack::rendezvous_read(
     ++s->data_msgs_consumed;
     co_return result.bytes;
   }
-  // User buffer too small: land in a temporary buffer and truncate
-  // (datagram semantics).
-  std::vector<std::uint8_t> tmp(bytes);
+  // User buffer too small: land in a pooled arena and truncate (datagram
+  // semantics).  The arena — not a fresh vector — keeps the address the
+  // EMP translation cache sees stable across connections.
+  auto tmp = get_arena(bytes);
   auto handle = co_await ep_.post_recv(s->peer_node, s->my_rend, tmp);
   co_await send_ctrl(s, grant);
   auto result = co_await ep_.wait_recv(handle);
   std::size_t n = std::min<std::size_t>(out.size(), result.bytes);
   co_await host_.copy(n);
   std::memcpy(out.data(), tmp.data(), n);
+  release_arena(std::move(tmp));
   ++ctr_.truncated_datagrams;
   ++s->data_msgs_consumed;
   co_return n;

@@ -238,6 +238,16 @@ class EmpSocketStack final : public os::SocketApi {
   void release_arena(std::vector<std::uint8_t> arena);
   std::map<std::size_t, std::vector<std::vector<std::uint8_t>>> arena_pool_;
 
+  // Control-message staging: every transient encode (ctrl messages,
+  // connection requests) is copied here before post_send so the EMP
+  // translation cache only ever sees this one stable address — never a
+  // short-lived heap block whose address depends on host allocator reuse.
+  // post_send captures the payload synchronously, so one buffer is enough.
+  // Pre-reserved so it never reallocates (the address must stay put).
+  std::vector<std::uint8_t> ctrl_staging_;
+  [[nodiscard]] std::span<const std::uint8_t> stage_ctrl(
+      std::vector<std::uint8_t> encoded);
+
   // Last member: deregisters before the state it inspects is torn down.
   check::ScopedChecker inv_check_;
 };

@@ -4,19 +4,19 @@ namespace ulsocks::tcp {
 
 namespace {
 
-void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
+void store16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
-void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put16(out, static_cast<std::uint16_t>(v));
-  put16(out, static_cast<std::uint16_t>(v >> 16));
+void store32(std::uint8_t* p, std::uint32_t v) {
+  store16(p, static_cast<std::uint16_t>(v));
+  store16(p + 2, static_cast<std::uint16_t>(v >> 16));
 }
 
-void put64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  put32(out, static_cast<std::uint32_t>(v));
-  put32(out, static_cast<std::uint32_t>(v >> 32));
+void store64(std::uint8_t* p, std::uint64_t v) {
+  store32(p, static_cast<std::uint32_t>(v));
+  store32(p + 4, static_cast<std::uint32_t>(v >> 32));
 }
 
 std::uint16_t get16(std::span<const std::uint8_t> in, std::size_t at) {
@@ -38,24 +38,33 @@ std::uint64_t get64(std::span<const std::uint8_t> in, std::size_t at) {
 
 std::vector<std::uint8_t> encode_segment(const Segment& s) {
   std::vector<std::uint8_t> out;
-  out.reserve(kSegmentHeaderBytes + s.payload.size());
-  put16(out, s.src_node);
-  put16(out, s.dst_node);
-  put16(out, s.src_port);
-  put16(out, s.dst_port);
-  put64(out, s.seq);
-  put64(out, s.ack);
-  put32(out, s.window);
+  encode_segment_into(s, out);
+  return out;
+}
+
+void encode_segment_into(const Segment& s, std::vector<std::uint8_t>& out) {
+  // Assemble the header on the stack, then append header and payload as
+  // two bulk ranges: one capacity check per range instead of one per byte.
+  // Zero-fill first so the pad to the nominal IP+TCP header size (honest
+  // wire timing) needs no trailing loop.
+  std::uint8_t hdr[kSegmentHeaderBytes] = {};
+  store16(hdr + 0, s.src_node);
+  store16(hdr + 2, s.dst_node);
+  store16(hdr + 4, s.src_port);
+  store16(hdr + 6, s.dst_port);
+  store64(hdr + 8, s.seq);
+  store64(hdr + 16, s.ack);
+  store32(hdr + 24, s.window);
   std::uint8_t flags = 0;
   if (s.flags.syn) flags |= 1;
   if (s.flags.ack) flags |= 2;
   if (s.flags.fin) flags |= 4;
   if (s.flags.rst) flags |= 8;
-  out.push_back(flags);
-  // Pad to the nominal IP+TCP header size so wire timing is honest.
-  while (out.size() < kSegmentHeaderBytes) out.push_back(0);
+  hdr[28] = flags;
+  out.clear();
+  out.reserve(kSegmentHeaderBytes + s.payload.size());
+  out.insert(out.end(), hdr, hdr + kSegmentHeaderBytes);
   out.insert(out.end(), s.payload.begin(), s.payload.end());
-  return out;
 }
 
 std::optional<Segment> decode_segment(std::span<const std::uint8_t> p) {

@@ -40,6 +40,9 @@ inline constexpr std::size_t kSegmentHeaderBytes = 40;  // ~IP(20)+TCP(20)
 inline constexpr std::uint32_t kMss = 1460;
 
 [[nodiscard]] std::vector<std::uint8_t> encode_segment(const Segment& s);
+/// Same, but into `out` (cleared first) — reuses pooled frame payload
+/// capacity.
+void encode_segment_into(const Segment& s, std::vector<std::uint8_t>& out);
 [[nodiscard]] std::optional<Segment> decode_segment(
     std::span<const std::uint8_t> payload);
 

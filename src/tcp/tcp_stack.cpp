@@ -315,18 +315,25 @@ void TcpStack::emit(const ConnPtr& c, Flags flags, std::uint64_t seq,
     c->last_advertised = seg.window;
   }
 
-  // Kernel output processing, then the stock NIC firmware path.
+  // Kernel output processing, then the stock NIC firmware path.  The
+  // pooled frame is encoded once here and moved stage to stage — the old
+  // std::function chain copied the byte vector at every hop.
   std::uint64_t wire_bytes = seg.payload.size() + kSegmentHeaderBytes;
-  auto bytes = encode_segment(seg);
+  net::FramePtr frame = nic_.frame_pool().acquire();
+  frame->dst = resolve_(seg.dst_node);
+  frame->src = nic_.mac();
+  frame->type = net::EtherType::kIpv4;
+  encode_segment_into(seg, frame->payload);
   host_.cpu().run(
       model_.tcp.tx_segment_ns + model_.tcp.driver_tx_ns,
-      [this, dst = seg.dst_node, bytes = std::move(bytes), wire_bytes] {
-        nic_.fw_tx(model_.tcp.nic_frame_ns, [this, dst, bytes, wire_bytes] {
-          nic_.dma_transfer(wire_bytes, [this, dst, bytes] {
-            nic_.mac_send(std::make_unique<net::Frame>(
-                resolve_(dst), nic_.mac(), net::EtherType::kIpv4, bytes));
-          });
-        });
+      [this, f = std::move(frame), wire_bytes]() mutable {
+        nic_.fw_tx(model_.tcp.nic_frame_ns,
+                   [this, f = std::move(f), wire_bytes]() mutable {
+                     nic_.dma_transfer(wire_bytes,
+                                       [this, f = std::move(f)]() mutable {
+                                         nic_.mac_send(std::move(f));
+                                       });
+                   });
       });
 }
 
@@ -344,19 +351,21 @@ void TcpStack::send_rst(const Segment& to) {
   seg.seq = to.ack;
   seg.ack = to.seq + 1;
   seg.flags = Flags{.ack = true, .rst = true};
-  auto bytes = encode_segment(seg);
+  net::FramePtr frame = nic_.frame_pool().acquire();
+  frame->dst = resolve_(seg.dst_node);
+  frame->src = nic_.mac();
+  frame->type = net::EtherType::kIpv4;
+  encode_segment_into(seg, frame->payload);
   host_.cpu().run(model_.tcp.tx_segment_ns + model_.tcp.driver_tx_ns,
-                  [this, dst = seg.dst_node, bytes = std::move(bytes)] {
-                    nic_.fw_tx(model_.tcp.nic_frame_ns, [this, dst, bytes] {
-                      nic_.dma_transfer(kSegmentHeaderBytes,
-                                        [this, dst, bytes] {
-                                          nic_.mac_send(
-                                              std::make_unique<net::Frame>(
-                                                  resolve_(dst), nic_.mac(),
-                                                  net::EtherType::kIpv4,
-                                                  bytes));
-                                        });
-                    });
+                  [this, f = std::move(frame)]() mutable {
+                    nic_.fw_tx(model_.tcp.nic_frame_ns,
+                               [this, f = std::move(f)]() mutable {
+                                 nic_.dma_transfer(
+                                     kSegmentHeaderBytes,
+                                     [this, f = std::move(f)]() mutable {
+                                       nic_.mac_send(std::move(f));
+                                     });
+                               });
                   });
 }
 
@@ -518,12 +527,12 @@ void TcpStack::on_frame(net::FramePtr frame) {
   auto seg = decode_segment(frame->payload);
   if (!seg) return;
   // Stock firmware receive handling, DMA into the kernel ring, then the
-  // interrupt-coalescing window.
-  auto shared = std::make_shared<Segment>(std::move(*seg));
-  nic_.fw_rx(model_.tcp.nic_frame_ns, [this, shared] {
-    std::uint64_t bytes = shared->payload.size() + kSegmentHeaderBytes;
-    nic_.dma_transfer(bytes, [this, shared] {
-      pending_rx_.push_back(std::move(*shared));
+  // interrupt-coalescing window.  The segment moves through the event
+  // chain; the wire frame returns to its pool as soon as it is decoded.
+  nic_.fw_rx(model_.tcp.nic_frame_ns, [this, s = std::move(*seg)]() mutable {
+    std::uint64_t bytes = s.payload.size() + kSegmentHeaderBytes;
+    nic_.dma_transfer(bytes, [this, s = std::move(s)]() mutable {
+      pending_rx_.push_back(std::move(s));
       schedule_interrupt();
     });
   });
@@ -540,7 +549,7 @@ void TcpStack::schedule_interrupt() {
     irq_scheduled_ = false;
     if (pending_rx_.empty()) return;
     ++ctr_.interrupts;
-    tracer_.instant(trk_, eng_.now(), "interrupt");
+    if (tracer_.enabled()) tracer_.instant(trk_, eng_.now(), "interrupt");
     host_.cpu().run(model_.tcp.interrupt_ns, [this] {
       // Softirq: process everything coalesced into this interrupt.
       std::deque<Segment> batch;

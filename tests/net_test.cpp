@@ -26,7 +26,7 @@ sim::WireCosts test_wire() {
 
 FramePtr make_frame(std::uint32_t from, std::uint32_t to,
                     std::size_t payload_size, std::uint8_t fill = 0xab) {
-  return std::make_unique<Frame>(
+  return make_frame_ptr(
       MacAddress::for_host(to), MacAddress::for_host(from), EtherType::kEmp,
       std::vector<std::uint8_t>(payload_size, fill));
 }
@@ -88,9 +88,9 @@ TEST(Link, PayloadBytesSurviveTransit) {
   std::vector<std::uint8_t> body(257);
   std::iota(body.begin(), body.end(), 0);
   link.transmit(Link::Side::kA,
-                std::make_unique<Frame>(MacAddress::for_host(1),
-                                        MacAddress::for_host(0),
-                                        EtherType::kEmp, body));
+                make_frame_ptr(MacAddress::for_host(1),
+                               MacAddress::for_host(0), EtherType::kEmp,
+                               body));
   eng.run();
   ASSERT_EQ(rx.frames.size(), 1u);
   EXPECT_EQ(rx.frames[0].second->payload, body);
@@ -233,9 +233,8 @@ TEST_F(SwitchTest, StoreAndForwardTiming) {
 TEST_F(SwitchTest, BroadcastReachesAllOtherPorts) {
   net_.host_link(0).transmit(
       StarNetwork::kHostSide,
-      std::make_unique<Frame>(MacAddress::broadcast(),
-                              MacAddress::for_host(0), EtherType::kEmp,
-                              std::vector<std::uint8_t>(10)));
+      make_frame_ptr(MacAddress::broadcast(), MacAddress::for_host(0),
+                     EtherType::kEmp, std::vector<std::uint8_t>(10)));
   eng_.run();
   EXPECT_EQ(rx_[0].frames.size(), 0u);
   EXPECT_EQ(rx_[1].frames.size(), 1u);
@@ -267,6 +266,84 @@ TEST(BackToBack, ConnectsTwoHostsDirectly) {
   b2b.link().transmit(b2b.side_of(0), make_frame(0, 1, 200));
   eng.run();
   EXPECT_EQ(rx.frames.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FramePool
+// ---------------------------------------------------------------------------
+
+TEST(FramePool, RecyclesStorageAndClearsStaleState) {
+  FramePool pool;
+  Frame* first;
+  std::size_t warm_capacity;
+  {
+    FramePtr f = pool.acquire();
+    first = f.get();
+    f->dst = MacAddress::for_host(3);
+    f->src = MacAddress::for_host(4);
+    f->type = EtherType::kIpv4;
+    f->wire_id = 99;
+    f->payload.assign(1500, 0xab);
+    warm_capacity = f->payload.capacity();
+  }  // deleter returns the frame to the pool
+  EXPECT_EQ(pool.outstanding(), 0u);
+
+  FramePtr g = pool.acquire();
+  ASSERT_EQ(g.get(), first) << "free-list acquire must reuse the storage";
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.recycled(), 1u);
+  // No stale bytes may bleed into the frame's next life...
+  EXPECT_EQ(g->payload.size(), 0u);
+  EXPECT_EQ(g->dst, MacAddress{});
+  EXPECT_EQ(g->src, MacAddress{});
+  EXPECT_EQ(g->type, EtherType::kEmp);
+  EXPECT_EQ(g->wire_id, 0u);
+  // ... but the payload capacity stays warm — the point of the pool.
+  EXPECT_GE(g->payload.capacity(), warm_capacity);
+}
+
+TEST(FramePool, HighWaterMarkReportsPeakThroughGauge) {
+  FramePool pool;
+  obs::Registry reg;
+  obs::Gauge& hwm = reg.gauge("h0/nic/frame_pool_hwm");
+  pool.bind_hwm_gauge(hwm);
+
+  std::vector<FramePtr> held;
+  for (int i = 0; i < 3; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.high_water_mark(), 3u);
+  EXPECT_EQ(hwm.value(), 3);
+
+  held.clear();
+  FramePtr f = pool.acquire();  // peak was 3; one outstanding now
+  EXPECT_EQ(pool.outstanding(), 1u);
+  EXPECT_EQ(pool.high_water_mark(), 3u);
+  EXPECT_EQ(hwm.value(), 3);
+  EXPECT_EQ(pool.recycled(), 1u);  // served from the free list
+}
+
+TEST(FramePool, FramesSafelyOutliveTheirPool) {
+  // Clusters destruct before the engine, so queued events may still hold
+  // pooled frames when the pool dies; the deleter must then free normally.
+  FramePtr straggler;
+  {
+    FramePool pool;
+    straggler = pool.acquire();
+    straggler->payload.assign(64, 0x5a);
+  }  // pool destroyed while the frame is outstanding
+  EXPECT_EQ(straggler->payload.size(), 64u);
+  straggler.reset();  // must heap-free, not push to a dead pool (ASan gate)
+}
+
+TEST(FramePool, CopiesAreIndependentOfPoolMembership) {
+  FramePool pool;
+  FramePtr original = pool.acquire();
+  original->payload.assign(100, 0x11);
+  original->wire_id = 7;
+  FramePtr copy = pool.acquire_copy(*original);
+  EXPECT_EQ(copy->payload, original->payload);
+  EXPECT_EQ(copy->wire_id, 7u);
+  copy->payload[0] = 0x22;
+  EXPECT_EQ(original->payload[0], 0x11);
 }
 
 }  // namespace

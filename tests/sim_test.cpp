@@ -2,7 +2,11 @@
 // synchronization primitives.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -408,6 +412,44 @@ TEST(Engine, RunsAreReproducible) {
   };
   EXPECT_EQ(run_once(123), run_once(123));
   EXPECT_NE(run_once(123), run_once(456));
+}
+
+// ---------------------------------------------------------------------------
+// InlineFunction (the engine's event callable)
+// ---------------------------------------------------------------------------
+
+TEST(InlineFunction, HoldsMoveOnlyCapturesInline) {
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  EventFn fn = [p = std::move(payload), &result] { result = *p + 1; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(result, 42);
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, SpillsOversizedCapturesToTheHeap) {
+  // A capture bigger than the inline buffer must still work (heap spill).
+  struct Big {
+    std::array<std::uint64_t, 32> words{};  // 256 B > the 88 B inline buffer
+  };
+  Big big;
+  big.words[31] = 7;
+  std::uint64_t seen = 0;
+  EventFn fn = [big, &seen] { seen = big.words[31]; };
+  EventFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(InlineFunction, MoveTransfersTheCallable) {
+  int calls = 0;
+  EventFn a = [&calls] { ++calls; };
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
 }
 
 }  // namespace
