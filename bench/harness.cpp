@@ -298,6 +298,56 @@ double socket_bandwidth_mbps(const StackChoice& stack, std::size_t msg_bytes,
   return mbps;
 }
 
+double socket_bandwidth_view_mbps(const StackChoice& stack,
+                                  std::size_t msg_bytes,
+                                  std::size_t total_bytes) {
+  Engine eng;
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, stack.cfg());
+  auto chunk = payload(msg_bytes);
+  double mbps = 0;
+
+  auto receiver = [&]() -> Task<void> {
+    auto& api = pick(cl, 1, stack);
+    int ls = co_await api.socket();
+    co_await api.bind(ls, SockAddr{1, kPort});
+    co_await api.listen(ls, 2);
+    int cs = co_await api.accept(ls, nullptr);
+    co_await apply_tcp_options(api, cs, stack);
+    const std::size_t window = std::max<std::size_t>(msg_bytes, 65'536);
+    os::RecvView view;
+    std::size_t got = 0;
+    sim::Time t0 = eng.now();
+    while (got < total_bytes) {
+      std::size_t n = co_await api.read_view(cs, view, window);
+      if (n == 0) break;
+      got += n;
+    }
+    mbps = static_cast<double>(got) * 8.0 / sim::to_sec(eng.now() - t0) /
+           1e6;
+    co_await api.close(cs);
+    co_await api.close(ls);
+  };
+  auto sender = [&]() -> Task<void> {
+    auto& api = pick(cl, 0, stack);
+    co_await eng.delay(10'000);
+    int s = co_await api.socket();
+    co_await api.connect(s, SockAddr{1, kPort});
+    co_await apply_tcp_options(api, s, stack);
+    std::size_t sent = 0;
+    while (sent < total_bytes) {
+      co_await api.write_all(s, chunk);
+      sent += chunk.size();
+    }
+    co_await api.close(s);
+  };
+  arm_run(eng);
+  eng.spawn(receiver());
+  eng.spawn(sender());
+  eng.run();
+  finish_run(eng);
+  return mbps;
+}
+
 /// Append a JSON-rendered double ("%.6g"; non-finite values become 0).
 void append_number(std::string& out, double v) {
   char buf[32];
@@ -565,6 +615,12 @@ double measure_bandwidth_mbps_nic(const StackChoice& stack,
     return raw_emp_bandwidth_mbps(msg_bytes, total_bytes);
   }
   return socket_bandwidth_mbps(stack, msg_bytes, total_bytes, dual_cpu);
+}
+
+double measure_bandwidth_view_mbps(const StackChoice& stack,
+                                   std::size_t msg_bytes,
+                                   std::size_t total_bytes) {
+  return socket_bandwidth_view_mbps(stack, msg_bytes, total_bytes);
 }
 
 double measure_ftp_mbps(const StackChoice& stack, std::size_t file_bytes) {

@@ -197,6 +197,13 @@ class BenchResults {
                                             std::size_t msg_bytes,
                                             std::size_t total_bytes);
 
+/// Same workload, but the receiver drains with read_view() instead of
+/// read(): the zero-copy receive API (sliced stacks lend their buffers;
+/// others fall back to one copy into the view's scratch).
+[[nodiscard]] double measure_bandwidth_view_mbps(const StackChoice& stack,
+                                                 std::size_t msg_bytes,
+                                                 std::size_t total_bytes);
+
 /// ftp RETR throughput (Mb/s) for a file of `file_bytes` on a RAM disk.
 [[nodiscard]] double measure_ftp_mbps(const StackChoice& stack,
                                       std::size_t file_bytes);

@@ -7,11 +7,20 @@ any scenario regressed by more than the allowed fraction (default 25%).
 
 The threshold is deliberately loose: the baseline is recorded on one
 machine and CI runs on another, so this catches "someone made the hot path
-2x slower", not single-digit drift.  Scenarios present in only one file
-are reported but do not fail the gate (new scenarios need a baseline
-refresh, which this script prints the command for).
+2x slower", not single-digit drift.
 
-Usage: check_hostperf.py CURRENT [BASELINE] [--min-ratio R]
+A baseline scenario missing from the current run is an ERROR (a silently
+dropped workload is how perf gates rot); pass --allow-missing while a
+scenario is being intentionally retired.  Scenarios present only in the
+current run are reported with the baseline-refresh command but do not fail
+the gate — the refreshed baseline then gates them from the next run on.
+
+Beyond wall-clock, the per-scenario `host/bytes_copied` counter is gated
+too: it is deterministic (a pure function of the workload), so the current
+value may not exceed the baseline by more than 10% — that would mean a
+copy crept back into the zero-copy data path.
+
+Usage: check_hostperf.py CURRENT [BASELINE] [--min-ratio R] [--allow-missing]
   CURRENT    BENCH_hostperf.json from the build under test
   BASELINE   committed reference (default bench/baselines/BENCH_hostperf.json)
   R          minimum allowed current/baseline ratio (default 0.75)
@@ -26,19 +35,25 @@ DEFAULT_BASELINE = os.path.join(
     os.pardir, "bench", "baselines", "BENCH_hostperf.json",
 )
 DEFAULT_MIN_RATIO = 0.75
+# bytes_copied is deterministic per workload; allow slack only for
+# smoke-vs-full sizing mistakes to surface loudly, not for drift.
+BYTES_COPIED_MAX_RATIO = 1.10
 
 
 def evps_points(path):
+    """(series, x) -> (events_per_sec, bytes_copied or None)."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     points = {}
     for p in doc.get("points", []):
         if p.get("unit") == "evps":
-            points[(p["series"], p["x"])] = float(p["value"])
+            copied = p.get("metrics", {}).get("host/bytes_copied")
+            points[(p["series"], p["x"])] = (float(p["value"]), copied)
     return points
 
 
 def main(argv):
+    allow_missing = "--allow-missing" in argv
     args = [a for a in argv[1:] if not a.startswith("--")]
     min_ratio = DEFAULT_MIN_RATIO
     for i, a in enumerate(argv):
@@ -65,12 +80,17 @@ def main(argv):
         return 0
 
     failures = []
-    for key, base in sorted(baseline.items()):
+    for key, (base, base_copied) in sorted(baseline.items()):
         series, x = key
         if key not in current:
-            print(f"WARNING: scenario {series}/{x} missing from current run")
+            msg = f"scenario {series}/{x} missing from current run"
+            if allow_missing:
+                print(f"WARNING: {msg} (--allow-missing)")
+            else:
+                print(f"FAIL {msg}")
+                failures.append((series, x, 0.0))
             continue
-        cur = current[key]
+        cur, cur_copied = current[key]
         ratio = cur / base if base > 0 else float("inf")
         status = "OK " if ratio >= min_ratio else "FAIL"
         print(f"{status} {series:<16} x={x:<12} "
@@ -78,13 +98,19 @@ def main(argv):
               f"current {cur / 1e6:8.2f} Mev/s   ratio {ratio:5.2f}")
         if ratio < min_ratio:
             failures.append((series, x, ratio))
+        if (base_copied and cur_copied is not None
+                and cur_copied > base_copied * BYTES_COPIED_MAX_RATIO):
+            print(f"FAIL {series:<16} x={x:<12} host/bytes_copied "
+                  f"{cur_copied} exceeds baseline {base_copied} by more "
+                  f"than {(BYTES_COPIED_MAX_RATIO - 1) * 100:.0f}%")
+            failures.append((series, x, cur_copied / base_copied))
     for key in sorted(set(current) - set(baseline)):
         print(f"NOTE: new scenario {key[0]}/{key[1]} has no baseline; "
               f"refresh with: cp {current_path} {baseline_path}")
 
     if failures:
-        print(f"\nERROR: {len(failures)} host-perf regression(s) beyond "
-              f"{(1 - min_ratio) * 100:.0f}% of baseline", file=sys.stderr)
+        print(f"\nERROR: {len(failures)} host-perf gate failure(s)",
+              file=sys.stderr)
         return 1
     print("host-perf gate passed")
     return 0

@@ -95,6 +95,11 @@ def validate(path):
                 if not isinstance(k, str) or not isinstance(v, int) or isinstance(v, bool):
                     err(f"{where}.metrics[{k!r}] is not a str->int entry")
                     break
+            # Every run registers the global host-copy tally; a point
+            # without it came from an engine that bypassed the registry
+            # snapshot and would silently escape the zero-copy gate.
+            if "host/bytes_copied" not in metrics:
+                err(f"{where}.metrics missing required 'host/bytes_copied'")
     return errors
 
 

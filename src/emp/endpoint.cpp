@@ -53,6 +53,7 @@ EmpEndpoint::EmpEndpoint(sim::Engine& eng, const sim::CostModel& model,
       resolve_(std::move(resolve)),
       config_(config),
       ctr_(obs::Scope(eng.metrics(), host_label(self) + "/emp")),
+      bytes_copied_(eng.metrics().counter("host/bytes_copied")),
       tracer_(eng.tracer()),
       trk_lib_(tracer_.track(host_label(self), "emp")),
       trk_fw_(tracer_.track(host_label(self), "emp-fw")),
@@ -172,13 +173,41 @@ sim::Duration EmpEndpoint::pin_cost(const void* base) {
 
 sim::Task<SendHandle> EmpEndpoint::post_send(
     NodeId dst, Tag tag, std::span<const std::uint8_t> data) {
+  return post_send_impl(dst, tag, {}, data, data.data());
+}
+
+sim::Task<SendHandle> EmpEndpoint::post_send_sg(
+    NodeId dst, Tag tag, std::span<const std::uint8_t> head,
+    std::span<const std::uint8_t> body, const void* pin_base) {
+  return post_send_impl(dst, tag, head, body, pin_base);
+}
+
+sim::Task<SendHandle> EmpEndpoint::post_send_impl(
+    NodeId dst, Tag tag, std::span<const std::uint8_t> head,
+    std::span<const std::uint8_t> body, const void* pin_base) {
   const sim::Time t0 = eng_.now();
-  sim::Duration cost = model_.host.desc_build_ns + pin_cost(data.data()) +
+  const std::uint32_t total_bytes =
+      static_cast<std::uint32_t>(head.size() + body.size());
+  sim::Duration cost = model_.host.desc_build_ns + pin_cost(pin_base) +
                        model_.nic.mailbox_post_ns;
-  // Capture the payload before yielding the CPU: the caller's span only has
-  // to outlive the synchronous prefix of this call, so callers may recycle
-  // one staging buffer across back-to-back sends.
-  std::vector<std::uint8_t> payload(data.begin(), data.end());
+  // Capture the payload before yielding the CPU: the caller's spans only
+  // have to outlive the synchronous prefix of this call, so callers may
+  // recycle one staging buffer across back-to-back sends.  This is the
+  // message's one host copy: with slicing on it lands in a pooled
+  // refcounted slice that every frame references; legacy mode
+  // deep-snapshots into a per-send vector instead.  Both variants charge
+  // the same simulated time — only wall-clock and the copy tally differ.
+  net::PayloadSlice pinned;
+  std::vector<std::uint8_t> payload;
+  const bool sliced = net::SlicePool::slicing_enabled();
+  if (sliced) {
+    pinned = nic_.slice_pool().gather(head, body);
+  } else {
+    payload.reserve(total_bytes);
+    payload.insert(payload.end(), head.begin(), head.end());
+    payload.insert(payload.end(), body.begin(), body.end());
+  }
+  bytes_copied_ += total_bytes;
   co_await host_cpu_.use(cost);
 
   auto st = std::make_shared<SendState>(eng_);
@@ -186,12 +215,13 @@ sim::Task<SendHandle> EmpEndpoint::post_send(
   st->tag = tag;
   st->msg_id = next_msg_id_++;
   st->data = std::move(payload);
-  st->total_frames = frames_for(static_cast<std::uint32_t>(st->data.size()),
-                                model_.wire.mtu);
+  st->pinned = std::move(pinned);
+  st->sliced = sliced;
+  st->total_frames = frames_for(total_bytes, model_.wire.mtu);
   ULSOCKS_INVARIANT(
       st->total_frames <= kMaxFramesPerMessage,
-      check::msgf("message of %zu bytes exceeds the 16-bit frame count",
-                  st->data.size()));
+      check::msgf("message of %u bytes exceeds the 16-bit frame count",
+                  total_bytes));
   pending_sends_[st->msg_id] = st;
   ++ctr_.sends_posted;
 
@@ -200,14 +230,15 @@ sim::Task<SendHandle> EmpEndpoint::post_send(
   if (tracer_.enabled()) {
     tracer_.complete(trk_lib_, t0, eng_.now() - t0, "post_send",
                      "\"dst\":" + std::to_string(dst) +
-                         ",\"bytes\":" + std::to_string(data.size()));
+                         ",\"bytes\":" + std::to_string(total_bytes));
   }
   co_return st;
 }
 
 sim::Task<RecvHandle> EmpEndpoint::post_recv(std::optional<NodeId> src,
                                              Tag tag,
-                                             std::span<std::uint8_t> buffer) {
+                                             std::span<std::uint8_t> buffer,
+                                             bool want_slices) {
   const sim::Time t0 = eng_.now();
   sim::Duration cost = model_.host.desc_build_ns + pin_cost(buffer.data()) +
                        model_.nic.mailbox_post_ns;
@@ -218,6 +249,7 @@ sim::Task<RecvHandle> EmpEndpoint::post_recv(std::optional<NodeId> src,
   r->tag = tag;
   r->buffer = buffer.data();
   r->capacity = static_cast<std::uint32_t>(buffer.size());
+  r->want_slices = want_slices && net::SlicePool::slicing_enabled();
   ++ctr_.recvs_posted;
   ULS_TRACE(eng_, "emp", "node%u post_recv src=%d tag=%u h=%p", self_,
             src ? (int)*src : -1, tag, (void*)r.get());
@@ -302,7 +334,10 @@ sim::Task<std::optional<RecvResult>> EmpEndpoint::try_claim_unexpected(
     ULS_TRACE(eng_, "emp", "node%u uq-claim from=%u tag=%u", self_, u->from,
               u->tag);
     RecvResult result{u->from, u->tag, bytes};
-    if (bytes > 0) std::memcpy(buffer.data(), u->buffer.data(), bytes);
+    if (bytes > 0) {
+      std::memcpy(buffer.data(), u->buffer.data(), bytes);
+      bytes_copied_ += bytes;
+    }
     std::erase(unexpected_ready_, u);
     bound_.erase(key_of(u->from, u->msg_id));
     remember_completed(u->from, u->msg_id, u->total_frames);
@@ -329,14 +364,44 @@ std::size_t EmpEndpoint::unexpected_free_count() const {
 // NIC-side transmit path
 // ---------------------------------------------------------------------------
 
+net::MacAddress EmpEndpoint::resolve_mac(NodeId dst) {
+  auto it = resolve_cache_.find(dst);
+  if (it != resolve_cache_.end()) return it->second;
+  net::MacAddress mac = resolve_(dst);
+  resolve_cache_.emplace(dst, mac);
+  return mac;
+}
+
 net::FramePtr EmpEndpoint::make_frame(
     NodeId dst, const EmpHeader& h,
     std::span<const std::uint8_t> fragment) {
   net::FramePtr f = nic_.frame_pool().acquire();
-  f->dst = resolve_(dst);
+  f->dst = resolve_mac(dst);
   f->src = nic_.mac();
   f->type = net::EtherType::kEmp;
   encode_frame_into(h, fragment, f->payload);
+  return f;
+}
+
+net::FramePtr EmpEndpoint::make_data_frame(const SendHandle& st,
+                                           const EmpHeader& h,
+                                           std::uint32_t offset,
+                                           std::uint32_t len) {
+  net::FramePtr f = nic_.frame_pool().acquire();
+  f->dst = resolve_mac(st->dst);
+  f->src = nic_.mac();
+  f->type = net::EtherType::kEmp;
+  if (st->sliced) {
+    // Zero-copy: the frame carries the 20 header bytes inline and
+    // references the pinned payload through a subslice.
+    encode_header_into(h, f->payload);
+    if (len > 0) f->slices.push_back(st->pinned.subslice(offset, len));
+  } else {
+    encode_frame_into(
+        h, std::span<const std::uint8_t>(st->data).subspan(offset, len),
+        f->payload);
+    bytes_copied_ += len;
+  }
   return f;
 }
 
@@ -351,43 +416,37 @@ void EmpEndpoint::transmit_frames(const SendHandle& st,
         tracer_.instant(trk_fw_, eng_.now(), "retransmit");
       }
     }
+    const std::uint32_t bytes = st->size_bytes();
     std::uint32_t offset0 = idx * frag;
-    std::uint32_t len0 = st->data.empty()
-                             ? 0
-                             : std::min<std::uint32_t>(
-                                   frag, static_cast<std::uint32_t>(
-                                             st->data.size()) -
-                                             offset0);
-    nic_.tx_cpu().run(model_.fw_tx_frame_cost(len0), [this, st, idx, total,
-                                                      frag] {
-      std::uint32_t offset = idx * frag;
-      std::uint32_t len = std::min<std::uint32_t>(
-          frag, static_cast<std::uint32_t>(st->data.size()) - offset);
-      if (st->data.empty()) len = 0;
-      nic_.dma_transfer(len + kHeaderBytes, [this, st, idx, total, offset,
-                                             len] {
-        EmpHeader h;
-        h.kind = FrameKind::kData;
-        h.src_node = self_;
-        h.dst_node = st->dst;
-        h.tag = st->tag;
-        h.msg_id = st->msg_id;
-        h.frame_index = static_cast<std::uint16_t>(idx);
-        h.total_frames = static_cast<std::uint16_t>(total);
-        h.msg_bytes = static_cast<std::uint32_t>(st->data.size());
-        ++ctr_.data_frames_tx;
-        nic_.mac_send(make_frame(
-            st->dst, h,
-            std::span<const std::uint8_t>(st->data).subspan(offset, len)));
-        if (idx + 1 == total) {
-          if (!st->local_done) {
-            st->local_done = true;
-            st->local_evt.set();
-          }
-          arm_retransmit_timer(st);
-        }
-      });
-    });
+    std::uint32_t len0 =
+        bytes == 0 ? 0 : std::min<std::uint32_t>(frag, bytes - offset0);
+    nic_.tx_cpu().run(
+        model_.fw_tx_frame_cost(len0),
+        [this, st, idx, total, offset0, len0]() mutable {
+          nic_.dma_transfer(
+              len0 + kHeaderBytes,
+              [this, st = std::move(st), idx, total, offset = offset0,
+               len = len0] {
+                EmpHeader h;
+                h.kind = FrameKind::kData;
+                h.src_node = self_;
+                h.dst_node = st->dst;
+                h.tag = st->tag;
+                h.msg_id = st->msg_id;
+                h.frame_index = static_cast<std::uint16_t>(idx);
+                h.total_frames = static_cast<std::uint16_t>(total);
+                h.msg_bytes = st->size_bytes();
+                ++ctr_.data_frames_tx;
+                nic_.mac_send(make_data_frame(st, h, offset, len));
+                if (idx + 1 == total) {
+                  if (!st->local_done) {
+                    st->local_done = true;
+                    st->local_evt.set();
+                  }
+                  arm_retransmit_timer(st);
+                }
+              });
+        });
   }
 }
 
@@ -430,7 +489,11 @@ void EmpEndpoint::on_frame(net::FramePtr frame) {
     case FrameKind::kData: {
       // The frame itself rides through the firmware pipeline; its payload
       // backs the fragment until DMA, so no per-frame fragment copy.
-      std::size_t frag_len = decoded->fragment.size();
+      // Fragment length comes from payload_bytes(): sliced frames carry
+      // the fragment in the scatter-gather list, so the inline-payload
+      // span decode_frame returns would undercount and skew firmware
+      // costs between the A/B modes.
+      std::size_t frag_len = frame->payload_bytes() - kHeaderBytes;
       nic_.fw_rx(model_.fw_rx_frame_cost(frag_len),
                  [this, h, f = std::move(frame)]() mutable {
                    handle_data(h, std::move(f));
@@ -491,6 +554,7 @@ void EmpEndpoint::handle_data(const EmpHeader& h, net::FramePtr frame) {
       r->total_frames = h.total_frames;
       r->msg_bytes = h.msg_bytes;
       r->got.assign(h.total_frames, false);
+      if (r->want_slices) r->parts.assign(h.total_frames, net::PayloadSlice{});
       binding.recv = walk_[i];
     }
     if (!binding.recv) {
@@ -583,8 +647,7 @@ void EmpEndpoint::handle_data(const EmpHeader& h, net::FramePtr frame) {
 
 void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
                                    net::FramePtr frame) {
-  std::span<const std::uint8_t> fragment =
-      std::span<const std::uint8_t>(frame->payload).subspan(kHeaderBytes);
+  const std::size_t frag_len = frame->payload_bytes() - kHeaderBytes;
   std::vector<bool>* got;
   std::uint32_t* received;
   std::uint8_t* dest_base;
@@ -635,12 +698,23 @@ void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
 
   // DMA the fragment to (pinned) memory.  Content moves now; the timing of
   // "landed" is the DMA completion.  The frame dies here — back to its
-  // pool.
-  std::uint32_t offset = h.frame_index * fragment_size();
-  if (!fragment.empty()) {
-    std::memcpy(dest_base + offset, fragment.data(), fragment.size());
+  // pool.  A slice-hungry descriptor instead takes a reference on the
+  // frame's payload slice: the bytes never move, only the refcount does
+  // (the slice outlives the frame's return to its pool).  Both paths
+  // charge the identical DMA transfer — the A/B modes differ only in
+  // host copies, never in simulated time.
+  bool took_slice = false;
+  if (binding.recv && binding.recv->want_slices && !frame->slices.empty() &&
+      h.frame_index < binding.recv->parts.size()) {
+    binding.recv->parts[h.frame_index] = frame->slices.front();
+    took_slice = true;
   }
-  nic_.dma_transfer(fragment.size() + kHeaderBytes,
+  if (!took_slice && frag_len > 0) {
+    std::uint32_t offset = h.frame_index * fragment_size();
+    frame->copy_payload(kHeaderBytes, {dest_base + offset, frag_len});
+    bytes_copied_ += frag_len;
+  }
+  nic_.dma_transfer(frag_len + kHeaderBytes,
                     [this, binding] { fragment_landed(binding); });
 }
 
@@ -727,7 +801,10 @@ void EmpEndpoint::deliver_unexpected(RecvHandle r, UnexpectedEntry* u) {
 
   // The unexpected path costs one extra host memory copy.
   std::uint32_t bytes = u->msg_bytes;
-  if (bytes > 0) std::memcpy(r->buffer, u->buffer.data(), bytes);
+  if (bytes > 0) {
+    std::memcpy(r->buffer, u->buffer.data(), bytes);
+    bytes_copied_ += bytes;
+  }
   RecvHandle handle = r;
   host_cpu_.run(model_.memcpy_cost(bytes), [this, handle] {
     handle->completed = true;
@@ -811,33 +888,28 @@ void EmpEndpoint::handle_nack(const EmpHeader& h) {
   // Immediate single-frame repair; the regular timer still backstops.
   ++ctr_.retransmitted_frames;
   const std::uint32_t frag = fragment_size();
-  std::uint32_t rlen = st->data.empty()
-                           ? 0
-                           : std::min<std::uint32_t>(
-                                 frag, static_cast<std::uint32_t>(
-                                           st->data.size()) -
-                                           idx * frag);
-  nic_.tx_cpu().run(model_.fw_tx_frame_cost(rlen), [this, st, idx, frag] {
-    std::uint32_t offset = idx * frag;
-    std::uint32_t len = std::min<std::uint32_t>(
-        frag, static_cast<std::uint32_t>(st->data.size()) - offset);
-    if (st->data.empty()) len = 0;
-    nic_.dma_transfer(len + kHeaderBytes, [this, st, idx, offset, len] {
-      EmpHeader hh;
-      hh.kind = FrameKind::kData;
-      hh.src_node = self_;
-      hh.dst_node = st->dst;
-      hh.tag = st->tag;
-      hh.msg_id = st->msg_id;
-      hh.frame_index = static_cast<std::uint16_t>(idx);
-      hh.total_frames = st->total_frames;
-      hh.msg_bytes = static_cast<std::uint32_t>(st->data.size());
-      ++ctr_.data_frames_tx;
-      nic_.mac_send(make_frame(
-          st->dst, hh,
-          std::span<const std::uint8_t>(st->data).subspan(offset, len)));
-    });
-  });
+  const std::uint32_t bytes = st->size_bytes();
+  std::uint32_t rlen =
+      bytes == 0 ? 0 : std::min<std::uint32_t>(frag, bytes - idx * frag);
+  nic_.tx_cpu().run(
+      model_.fw_tx_frame_cost(rlen), [this, st, idx, frag, rlen]() mutable {
+        nic_.dma_transfer(
+            rlen + kHeaderBytes,
+            [this, st = std::move(st), idx, offset = idx * frag,
+             len = rlen] {
+              EmpHeader hh;
+              hh.kind = FrameKind::kData;
+              hh.src_node = self_;
+              hh.dst_node = st->dst;
+              hh.tag = st->tag;
+              hh.msg_id = st->msg_id;
+              hh.frame_index = static_cast<std::uint16_t>(idx);
+              hh.total_frames = st->total_frames;
+              hh.msg_bytes = st->size_bytes();
+              ++ctr_.data_frames_tx;
+              nic_.mac_send(make_data_frame(st, hh, offset, len));
+            });
+      });
 }
 
 }  // namespace ulsocks::emp

@@ -16,6 +16,7 @@
 //     temporary buffers, checked after all pre-posted descriptors.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -29,6 +30,7 @@
 
 #include "check/registry.hpp"
 #include "emp/wire.hpp"
+#include "net/payload_slice.hpp"
 #include "nic/nic_device.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -78,7 +80,9 @@ struct SendState {
   NodeId dst = 0;
   Tag tag = 0;
   std::uint32_t msg_id = 0;
-  std::vector<std::uint8_t> data;  // contents of the pinned user pages
+  std::vector<std::uint8_t> data;  // legacy mode: deep snapshot of the pages
+  net::PayloadSlice pinned;        // sliced mode: refcounted pinned payload
+  bool sliced = false;
   std::uint16_t total_frames = 0;
   std::uint32_t acked_frames = 0;
   std::uint32_t retries = 0;
@@ -87,6 +91,12 @@ struct SendState {
   bool failed = false;
   sim::ManualEvent local_evt;
   sim::ManualEvent acked_evt;
+
+  /// Total message payload size, whichever mode holds it.
+  [[nodiscard]] std::uint32_t size_bytes() const noexcept {
+    return sliced ? static_cast<std::uint32_t>(pinned.size())
+                  : static_cast<std::uint32_t>(data.size());
+  }
 };
 using SendHandle = std::shared_ptr<SendState>;
 
@@ -110,8 +120,50 @@ struct RecvState {
   bool failed = false;
   bool unposted = false;
   bool filed = false;  // descriptor reached the NIC walk list
+  // Sliced mode: the caller asked to receive fragments as refcounted
+  // slices (one per frame index) instead of a contiguous copy into
+  // `buffer`.  `parts` is sized at bind time; messages that arrive via
+  // the unexpected queue are still materialized into `buffer` and leave
+  // `parts` holding only empty slices.
+  bool want_slices = false;
+  std::vector<net::PayloadSlice> parts;
   RecvResult result;
   sim::ManualEvent done_evt;
+
+  /// True when the message bytes live in `parts` rather than `buffer`.
+  [[nodiscard]] bool sliced_delivery() const noexcept {
+    for (const auto& p : parts) {
+      if (!p.empty()) return true;
+    }
+    return false;
+  }
+
+  /// Copy `dst.size()` message bytes starting at message offset `off` into
+  /// `dst`, whichever home the bytes landed in.  Returns bytes copied.
+  std::size_t copy_out(std::size_t off, std::span<std::uint8_t> dst) const {
+    if (dst.empty()) return 0;
+    if (!sliced_delivery()) {
+      std::size_t n = dst.size();
+      std::copy_n(buffer + off, n, dst.data());
+      return n;
+    }
+    std::size_t written = 0;
+    std::size_t part_start = 0;
+    for (const auto& p : parts) {
+      if (written == dst.size()) break;
+      std::size_t part_end = part_start + p.size();
+      if (off < part_end && !p.empty()) {
+        std::size_t from = off > part_start ? off - part_start : 0;
+        std::size_t avail = p.size() - from;
+        std::size_t take = std::min(avail, dst.size() - written);
+        std::copy_n(p.data() + from, take, dst.data() + written);
+        written += take;
+        off += take;
+      }
+      part_start = part_end;
+    }
+    return written;
+  }
 };
 using RecvHandle = std::shared_ptr<RecvState>;
 
@@ -160,16 +212,33 @@ class EmpEndpoint {
   // ---- Host-side operations (coroutines charging host CPU time) ----
 
   /// Post a transmit descriptor.  The data is read from the (pinned) user
-  /// pages by NIC DMA; the snapshot taken here models exactly that.
+  /// pages by NIC DMA; the one host copy taken here models exactly that.
+  /// With slicing on the copy lands in a pooled refcounted slice every
+  /// frame references; legacy mode deep-snapshots into a per-send vector.
   [[nodiscard]] sim::Task<SendHandle> post_send(
       NodeId dst, Tag tag, std::span<const std::uint8_t> data);
 
+  /// Scatter-gather post: `head` + `body` form one message, gathered into
+  /// a single pinned slice (or one legacy snapshot) without the caller
+  /// first concatenating them in a staging buffer.  `pin_base` is the
+  /// address charged to the translation cache — callers that present a
+  /// stable staging region (the substrate's credit ring) pass its slot
+  /// address so pin timing matches the legacy copy-through-staging path
+  /// exactly.
+  [[nodiscard]] sim::Task<SendHandle> post_send_sg(
+      NodeId dst, Tag tag, std::span<const std::uint8_t> head,
+      std::span<const std::uint8_t> body, const void* pin_base);
+
   /// Post a receive descriptor matching (src, tag); src == nullopt matches
   /// any sender.  Checks the unexpected queue first, as the EMP library
-  /// does.
+  /// does.  With `want_slices`, fragments are retained as refcounted
+  /// slices on the handle (RecvState::parts) instead of being copied into
+  /// `buffer`; `buffer` remains the pinned fallback home (unexpected-queue
+  /// deliveries still materialize into it).
   [[nodiscard]] sim::Task<RecvHandle> post_recv(std::optional<NodeId> src,
                                                 Tag tag,
-                                                std::span<std::uint8_t> buffer);
+                                                std::span<std::uint8_t> buffer,
+                                                bool want_slices = false);
 
   /// Grow the unexpected-message pool by `count` buffers of `bytes` each.
   [[nodiscard]] sim::Task<void> post_unexpected(std::size_t count,
@@ -330,8 +399,25 @@ class EmpEndpoint {
   /// Translation/pin cache lookup; returns the host-time cost.
   sim::Duration pin_cost(const void* base);
 
+  /// Shared body of post_send / post_send_sg (head + body = one message).
+  sim::Task<SendHandle> post_send_impl(NodeId dst, Tag tag,
+                                       std::span<const std::uint8_t> head,
+                                       std::span<const std::uint8_t> body,
+                                       const void* pin_base);
+
+  /// Control frames (and legacy callers with an explicit fragment span).
   net::FramePtr make_frame(NodeId dst, const EmpHeader& h,
                            std::span<const std::uint8_t> fragment);
+
+  /// Data frame for `[offset, offset+len)` of the send's payload: sliced
+  /// sends reference the pinned slice (header-only encode), legacy sends
+  /// copy the fragment into the frame payload.
+  net::FramePtr make_data_frame(const SendHandle& st, const EmpHeader& h,
+                                std::uint32_t offset, std::uint32_t len);
+
+  /// Memoized resolve_: node ids are tiny and stable, so skip the
+  /// std::function call on the per-frame path.
+  net::MacAddress resolve_mac(NodeId dst);
 
   [[nodiscard]] std::uint32_t fragment_size() const {
     return max_fragment_bytes(model_.wire.mtu);
@@ -349,6 +435,7 @@ class EmpEndpoint {
   std::function<net::MacAddress(NodeId)> resolve_;
   EmpConfig config_;
   Instruments ctr_;
+  obs::Counter& bytes_copied_;  // engine-wide "host/bytes_copied"
   obs::Tracer& tracer_;
   std::uint32_t trk_lib_;  // ("h<N>", "emp") host-library timeline track
   std::uint32_t trk_fw_;   // ("h<N>", "emp-fw") NIC-firmware timeline track
@@ -370,6 +457,9 @@ class EmpEndpoint {
   // Host-side translation cache (LRU over region base addresses).
   std::list<const void*> pin_lru_;
   std::unordered_map<const void*, std::list<const void*>::iterator> pin_map_;
+
+  // NodeId -> MAC memo for the per-frame transmit path.
+  std::unordered_map<NodeId, net::MacAddress> resolve_cache_;
 
   // Last member: deregisters before the state it inspects is torn down.
   check::ScopedChecker inv_check_;

@@ -36,13 +36,9 @@ std::vector<std::uint8_t> encode_frame(const EmpHeader& h,
   return out;
 }
 
-void encode_frame_into(const EmpHeader& h,
-                       std::span<const std::uint8_t> fragment,
-                       std::vector<std::uint8_t>& out) {
-  // Assemble the header on the stack, then append header and payload as
-  // two bulk ranges: one capacity check per range instead of one per byte
-  // (this runs once per frame on the simulator's hottest path).
-  std::uint8_t hdr[kHeaderBytes];
+namespace {
+
+void build_header(const EmpHeader& h, std::uint8_t* hdr) {
   hdr[0] = static_cast<std::uint8_t>(h.kind);
   hdr[1] = 0;  // reserved / alignment
   store16(hdr + 2, h.src_node);
@@ -54,10 +50,29 @@ void encode_frame_into(const EmpHeader& h,
   // The final word is msg_bytes for data frames and ack_value for control
   // frames (control frames carry no payload, data frames carry no ack).
   store32(hdr + 16, h.kind == FrameKind::kData ? h.msg_bytes : h.ack_value);
+}
+
+}  // namespace
+
+void encode_frame_into(const EmpHeader& h,
+                       std::span<const std::uint8_t> fragment,
+                       std::vector<std::uint8_t>& out) {
+  // Assemble the header on the stack, then append header and payload as
+  // two bulk ranges: one capacity check per range instead of one per byte
+  // (this runs once per frame on the simulator's hottest path).
+  std::uint8_t hdr[kHeaderBytes];
+  build_header(h, hdr);
   out.clear();
   out.reserve(kHeaderBytes + fragment.size());
   out.insert(out.end(), hdr, hdr + kHeaderBytes);
   out.insert(out.end(), fragment.begin(), fragment.end());
+}
+
+void encode_header_into(const EmpHeader& h, std::vector<std::uint8_t>& out) {
+  std::uint8_t hdr[kHeaderBytes];
+  build_header(h, hdr);
+  out.clear();
+  out.insert(out.end(), hdr, hdr + kHeaderBytes);
 }
 
 std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> p) {

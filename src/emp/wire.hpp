@@ -68,6 +68,11 @@ void encode_frame_into(const EmpHeader& h,
                        std::span<const std::uint8_t> fragment,
                        std::vector<std::uint8_t>& out);
 
+/// Header-only encode for the sliced data path: `out` receives just the
+/// 20 header bytes; the fragment rides the frame's scatter-gather slice
+/// list instead of being copied in.
+void encode_header_into(const EmpHeader& h, std::vector<std::uint8_t>& out);
+
 /// Parse a frame payload.  Returns nullopt for malformed payloads (too
 /// short, bad kind, or length mismatch).
 struct DecodedFrame {

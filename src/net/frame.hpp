@@ -20,13 +20,16 @@
 // dead mark and delete themselves normally.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "net/mac.hpp"
+#include "net/payload_slice.hpp"
 #include "obs/metrics.hpp"
 
 namespace ulsocks::net {
@@ -48,7 +51,13 @@ struct Frame {
   MacAddress dst{};
   MacAddress src{};
   EtherType type = EtherType::kEmp;
+  /// Inline region: with slicing enabled this holds only the protocol
+  /// header (~16-40 bytes); legacy mode keeps the whole wire payload here.
   std::vector<std::uint8_t> payload;
+  /// Scatter-gather extension: payload bytes following the inline region,
+  /// shared by refcount with the sender's pinned buffer (and with flood
+  /// copies).  Wire order is payload, then slices front-to-back.
+  std::vector<PayloadSlice> slices;
   /// Monotonic id assigned at transmission; used by fault injection and
   /// traces to identify frames.
   std::uint64_t wire_id = 0;
@@ -64,16 +73,18 @@ struct Frame {
   // frame still returns to its pool.
   Frame(const Frame& o)
       : dst(o.dst), src(o.src), type(o.type), payload(o.payload),
-        wire_id(o.wire_id) {}
+        slices(o.slices), wire_id(o.wire_id) {}
   Frame(Frame&& o) noexcept
       : dst(o.dst), src(o.src), type(o.type),
-        payload(std::move(o.payload)), wire_id(o.wire_id) {}
+        payload(std::move(o.payload)), slices(std::move(o.slices)),
+        wire_id(o.wire_id) {}
   Frame& operator=(const Frame& o) {
     if (this != &o) {
       dst = o.dst;
       src = o.src;
       type = o.type;
       payload = o.payload;
+      slices = o.slices;
       wire_id = o.wire_id;
     }
     return *this;
@@ -84,16 +95,51 @@ struct Frame {
       src = o.src;
       type = o.type;
       payload = std::move(o.payload);
+      slices = std::move(o.slices);
       wire_id = o.wire_id;
     }
     return *this;
   }
   ~Frame() = default;
 
+  /// Total logical payload length: inline region plus sliced extension.
+  /// Identical sliced-vs-legacy for the same wire message — every
+  /// size-driven cost (serialization, DMA, firmware per-byte work) goes
+  /// through this, which is what keeps the A/B digests bit-equal.
+  [[nodiscard]] std::size_t payload_bytes() const {
+    std::size_t n = payload.size();
+    for (const PayloadSlice& s : slices) n += s.size();
+    return n;
+  }
+
+  /// Gather the logical payload starting at `off` into `dst` (receive-side
+  /// delivery: the one copy per message).  Returns bytes written.
+  std::size_t copy_payload(std::size_t off, std::span<std::uint8_t> dst) const {
+    std::size_t written = 0;
+    auto take = [&](std::span<const std::uint8_t> part) {
+      if (off >= part.size()) {
+        off -= part.size();
+        return;
+      }
+      part = part.subspan(off);
+      off = 0;
+      std::size_t n = std::min(part.size(), dst.size() - written);
+      std::copy_n(part.data(), n, dst.data() + written);
+      written += n;
+    };
+    take(payload);
+    for (const PayloadSlice& s : slices) {
+      if (written == dst.size()) break;
+      take(s.span());
+    }
+    return written;
+  }
+
   /// Bytes occupying the wire: preamble+SFD (8) + header (14) + payload
   /// padded to the 46-byte minimum + FCS (4) + inter-frame gap (12).
   [[nodiscard]] std::uint64_t wire_bytes() const {
-    std::uint64_t body = payload.size() < 46 ? 46 : payload.size();
+    std::uint64_t body = payload_bytes();
+    if (body < 46) body = 46;
     return 8 + 14 + body + 4 + 12;
   }
 
@@ -157,6 +203,7 @@ class FramePool {
       f->src = MacAddress{};
       f->type = EtherType::kEmp;
       f->payload.clear();  // keeps capacity — the point of the pool
+      f->slices.clear();   // drops slice refs from the previous life
       f->wire_id = 0;
     } else {
       f = new Frame();
@@ -173,13 +220,16 @@ class FramePool {
     return FramePtr(f);
   }
 
-  /// A pooled copy of `src` (switch flooding).
+  /// A pooled copy of `src` (switch flooding).  Only the inline region is
+  /// duplicated — with slicing on that is just the protocol header; the
+  /// payload slices are shared by refcount bump across pools.
   [[nodiscard]] FramePtr acquire_copy(const Frame& src) {
     FramePtr f = acquire();
     f->dst = src.dst;
     f->src = src.src;
     f->type = src.type;
     f->payload.assign(src.payload.begin(), src.payload.end());
+    f->slices = src.slices;
     f->wire_id = src.wire_id;
     return f;
   }

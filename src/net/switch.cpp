@@ -12,6 +12,7 @@ EthernetSwitch::EthernetSwitch(sim::Engine& eng, const sim::WireCosts& wire,
       forwarded_(scope_.counter("frames_forwarded")),
       flooded_(scope_.counter("frames_flooded")),
       dropped_(scope_.counter("frames_dropped")),
+      bytes_copied_(eng.metrics().counter("host/bytes_copied")),
       tracer_(eng.tracer()),
       trk_(eng.tracer().track("net", "switch")),
       inv_check_(eng.checks(), "net.switch",
@@ -120,10 +121,13 @@ void EthernetSwitch::route(std::size_t port, FramePtr frame) {
     return;
   }
   // Unknown destination or broadcast: flood pooled copies to all other
-  // ports; the original returns to its pool when `frame` dies here.
+  // ports; the original returns to its pool when `frame` dies here.  Each
+  // copy duplicates only the inline region — payload slices are shared —
+  // so with slicing on a flood moves header bytes, not payloads.
   ++flooded_;
   for (std::size_t p = 0; p < ports_.size(); ++p) {
     if (p == port || ports_[p]->link == nullptr) continue;
+    bytes_copied_ += frame->payload.size();
     enqueue(p, pool_.acquire_copy(*frame));
   }
 }

@@ -99,6 +99,7 @@ class EthernetSwitch {
   obs::Counter& forwarded_;
   obs::Counter& flooded_;
   obs::Counter& dropped_;
+  obs::Counter& bytes_copied_;  // engine-wide "host/bytes_copied"
   obs::Tracer& tracer_;
   std::uint32_t trk_;  // ("net", "switch") timeline track
 

@@ -50,6 +50,7 @@ class NicDevice final : public net::FrameSink {
         trk_(eng.tracer().track("h" + std::to_string(mac.host_index()),
                                 "nic")) {
     pool_.bind_hwm_gauge(scope_.gauge("frame_pool_hwm"));
+    slice_pool_.bind_hwm_gauge(scope_.gauge("slice_pool_hwm"));
     link_.attach(side_, this);
   }
 
@@ -67,6 +68,11 @@ class NicDevice final : public net::FrameSink {
   /// kernel-TCP paths alike) is acquired here and returns here after the
   /// receive side is done with it.
   [[nodiscard]] net::FramePool& frame_pool() noexcept { return pool_; }
+
+  /// The host's pinned-buffer recycler: protocol send paths pin payloads
+  /// into slices drawn from here (the simulated DMA-registered region) and
+  /// fragment by refcount instead of copying.
+  [[nodiscard]] net::SlicePool& slice_pool() noexcept { return slice_pool_; }
 
   /// Schedule firmware work on the transmit / receive processor.
   void fw_tx(sim::Duration cost, sim::EventFn fn) {
@@ -154,6 +160,7 @@ class NicDevice final : public net::FrameSink {
   sim::SerialResource rx_cpu_;
   sim::SerialResource dma_;
   net::FramePool pool_;
+  net::SlicePool slice_pool_;
   std::deque<net::FramePtr> tx_queue_;
   bool tx_draining_ = false;
   std::function<void(net::FramePtr)> rx_emp_;

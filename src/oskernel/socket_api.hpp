@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "net/payload_slice.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
@@ -56,6 +57,28 @@ enum class SockOpt : std::uint8_t {
   kDatagram,      // substrate: disable data streaming (paper §6.2), 0/1
 };
 
+/// Zero-copy receive view: the stack exposes the received bytes as spans
+/// into buffers it owns instead of copying them out.  `parts` (in stream
+/// order) stay valid until the next read/read_view call on the same socket
+/// or until the view is reset; `keepalive` pins any refcounted payload
+/// slices backing the spans, and `scratch` backs the spans for stacks (or
+/// A/B modes) that cannot lend their internal buffers.
+struct RecvView {
+  std::vector<std::span<const std::uint8_t>> parts;
+  std::vector<net::PayloadSlice> keepalive;
+  std::vector<std::uint8_t> scratch;
+
+  void reset() noexcept {
+    parts.clear();
+    keepalive.clear();
+  }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& p : parts) n += p.size();
+    return n;
+  }
+};
+
 /// A blocking BSD-style sockets interface.  All calls are coroutines in
 /// simulated time; errors are reported as SocketError.
 class SocketApi {
@@ -85,6 +108,26 @@ class SocketApi {
   /// is empty).  May block for buffer space / flow-control credits.
   [[nodiscard]] virtual sim::Task<std::size_t> write(
       int sd, std::span<const std::uint8_t> in) = 0;
+
+  /// readv-style read: like read(), but delivers up to `max_bytes` as
+  /// spans in `view` instead of copying into a caller buffer, eliminating
+  /// the last host copy for stacks that can lend their receive buffers.
+  /// The default implementation reads into `view.scratch` (one copy), so
+  /// every stack supports the call.  Blocking and return-value semantics
+  /// match read().
+  [[nodiscard]] virtual sim::Task<std::size_t> read_view(
+      int sd, RecvView& view, std::size_t max_bytes) {
+    view.reset();
+    if (view.scratch.size() < max_bytes) view.scratch.resize(max_bytes);
+    std::size_t n =
+        co_await read(sd, std::span<std::uint8_t>(view.scratch.data(),
+                                                  max_bytes));
+    if (n > 0) {
+      view.parts.push_back(
+          std::span<const std::uint8_t>(view.scratch.data(), n));
+    }
+    co_return n;
+  }
 
   [[nodiscard]] virtual sim::Task<void> close(int sd) = 0;
 

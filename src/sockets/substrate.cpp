@@ -16,6 +16,27 @@ namespace {
 // Datagram sockets keep no staging descriptors: small messages land on the
 // EMP unexpected queue (entries are this large), bigger ones rendezvous.
 constexpr std::uint32_t kDgEagerLimit = 4096;
+
+// Lend `[off, off+len)` of a slice-delivered message to the caller's view:
+// spans point into the refcounted slices, and the keepalive list pins them
+// past the slot's repost.
+void append_view_parts(os::RecvView& view, const emp::RecvState& r,
+                       std::size_t off, std::size_t len) {
+  std::size_t part_start = 0;
+  for (const auto& p : r.parts) {
+    if (len == 0) break;
+    std::size_t part_end = part_start + p.size();
+    if (off < part_end && !p.empty()) {
+      std::size_t from = off > part_start ? off - part_start : 0;
+      std::size_t take = std::min(p.size() - from, len);
+      view.parts.emplace_back(p.data() + from, take);
+      view.keepalive.push_back(p);
+      off += take;
+      len -= take;
+    }
+    part_start = part_end;
+  }
+}
 }  // namespace
 
 EmpSocketStack::Instruments::Instruments(obs::Scope scope)
@@ -40,6 +61,7 @@ EmpSocketStack::EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
       activity_(eng),
       ctr_(obs::Scope(eng.metrics(),
                       "h" + std::to_string(ep.node_id()) + "/sockets")),
+      bytes_copied_(eng.metrics().counter("host/bytes_copied")),
       tracer_(eng.tracer()),
       trk_(eng.tracer().track("h" + std::to_string(ep.node_id()), "sockets")),
       inv_check_(eng.checks(), "sockets.substrate",
@@ -274,8 +296,11 @@ sim::Task<void> EmpSocketStack::post_connection_resources(const SockPtr& s) {
   for (std::uint32_t i = 0; i < ndata; ++i) {
     auto slot = std::make_unique<Slot>();
     slot->buffer = std::span(s->arena).subspan(i * slot_bytes, slot_bytes);
-    slot->handle =
-        co_await ep_.post_recv(s->peer_node, s->my_data, slot->buffer);
+    // Data slots ask for slice delivery: with slicing on the message stays
+    // in refcounted NIC slices and the arena slot is only the pinned
+    // fallback home (unexpected-queue arrivals).
+    slot->handle = co_await ep_.post_recv(s->peer_node, s->my_data,
+                                          slot->buffer, /*want_slices=*/true);
     s->data_slots.push_back(std::move(slot));
   }
   // ... plus control descriptors ("2N", §6.1) unless acks ride the
@@ -593,7 +618,16 @@ bool EmpSocketStack::parse_arrived_data_headers(const SockPtr& s) {
     slot->parsed = true;
     progress = true;
     if (slot->msg_bytes >= kDataHeaderBytes) {
-      DataHeader h = decode_data_header(slot->buffer.data());
+      // Slice-delivered messages keep their bytes in the handle's parts;
+      // gather the 4 header bytes instead of reading the (empty) slot
+      // buffer.
+      std::uint8_t hdr[kDataHeaderBytes];
+      const std::uint8_t* hp = slot->buffer.data();
+      if (slot->handle->sliced_delivery()) {
+        slot->handle->copy_out(0, std::span<std::uint8_t>(hdr));
+        hp = hdr;
+      }
+      DataHeader h = decode_data_header(hp);
       if (h.piggyback_credits > 0) {
         s->send_credits += h.piggyback_credits;  // §6.1 piggy-backed return
       }
@@ -687,13 +721,14 @@ sim::Task<void> EmpSocketStack::repost_slot(const SockPtr& s, Slot& slot) {
   slot.parsed = false;
   slot.offset = 0;
   slot.msg_bytes = 0;
-  slot.handle = co_await ep_.post_recv(s->peer_node, s->my_data, slot.buffer);
+  slot.handle = co_await ep_.post_recv(s->peer_node, s->my_data, slot.buffer,
+                                       /*want_slices=*/true);
 }
 
 sim::Task<std::size_t> EmpSocketStack::read(int sd,
                                             std::span<std::uint8_t> out) {
   const sim::Time t0 = eng_.now();
-  std::size_t n = co_await read_impl(sd, out);
+  std::size_t n = co_await read_impl(sd, out, nullptr);
   if (tracer_.enabled()) {
     tracer_.complete(trk_, t0, eng_.now() - t0, "read",
                      "\"sd\":" + std::to_string(sd) +
@@ -702,8 +737,30 @@ sim::Task<std::size_t> EmpSocketStack::read(int sd,
   co_return n;
 }
 
+sim::Task<std::size_t> EmpSocketStack::read_view(int sd, os::RecvView& view,
+                                                 std::size_t max_bytes) {
+  const sim::Time t0 = eng_.now();
+  view.reset();
+  // The scratch span doubles as the destination for every path that cannot
+  // lend its buffers (legacy mode, datagrams, rendezvous); the sliced
+  // streaming path fills `view.parts` instead and never touches it.
+  if (view.scratch.size() < max_bytes) view.scratch.resize(max_bytes);
+  std::size_t n = co_await read_impl(
+      sd, std::span<std::uint8_t>(view.scratch.data(), max_bytes), &view);
+  if (n > 0 && view.parts.empty()) {
+    view.parts.emplace_back(view.scratch.data(), n);
+  }
+  if (tracer_.enabled()) {
+    tracer_.complete(trk_, t0, eng_.now() - t0, "read_view",
+                     "\"sd\":" + std::to_string(sd) +
+                         ",\"bytes\":" + std::to_string(n));
+  }
+  co_return n;
+}
+
 sim::Task<std::size_t> EmpSocketStack::read_impl(int sd,
-                                                 std::span<std::uint8_t> out) {
+                                                 std::span<std::uint8_t> out,
+                                                 os::RecvView* view) {
   auto s = sock(sd);
   if (s->state != Sock::State::kConnected) {
     throw SocketError(SockErr::kInvalid, "read on non-connected socket");
@@ -730,9 +787,18 @@ sim::Task<std::size_t> EmpSocketStack::read_impl(int sd,
       std::size_t n = std::min<std::size_t>(out.size(), payload - slot.offset);
       if (n > 0) {
         // The data-streaming copy (§6.2): temporary buffer -> user buffer.
+        // Both A/B modes charge the same simulated copy cost; what differs
+        // is the host work.  In view mode with slice delivery the bytes are
+        // lent to the caller and no copy happens at all; otherwise
+        // copy_out gathers from wherever the message landed.
         co_await host_.copy(n);
-        std::memcpy(out.data(),
-                    slot.buffer.data() + kDataHeaderBytes + slot.offset, n);
+        const emp::RecvHandle& rh = slot.handle;
+        if (view != nullptr && rh->sliced_delivery()) {
+          append_view_parts(*view, *rh, kDataHeaderBytes + slot.offset, n);
+        } else {
+          rh->copy_out(kDataHeaderBytes + slot.offset, out.first(n));
+          bytes_copied_ += n;
+        }
         slot.offset += static_cast<std::uint32_t>(n);
       }
       bool consumed = slot.offset >= payload;
@@ -840,14 +906,31 @@ sim::Task<std::size_t> EmpSocketStack::eager_write(
     ctr_.credits_piggybacked += h.piggyback_credits;
     s->consumed_unacked -= h.piggyback_credits;
   }
+
+  ++ctr_.eager_messages_tx;
+  ++s->data_msgs_sent;
+  if (net::SlicePool::slicing_enabled()) {
+    // Zero-copy send: header and user payload are gathered straight into
+    // one pinned slice by post_send_sg — the staging ring is bypassed, but
+    // its slot address is still what the translation cache is charged for,
+    // so pin timing is identical to the legacy copy-through-staging path.
+    std::uint8_t hdr[kDataHeaderBytes];
+    encode_data_header(h, hdr);
+    co_await host_.copy(n);
+    auto handle = co_await ep_.post_send_sg(
+        s->peer_node, s->peer_data,
+        std::span<const std::uint8_t>(hdr, kDataHeaderBytes), in.first(n),
+        msg.data());
+    (void)handle;
+    co_return n;
+  }
   encode_data_header(h, msg.data());
   std::memcpy(msg.data() + kDataHeaderBytes, in.data(), n);
+  bytes_copied_ += n;
   // Building the message in the (pre-registered) send staging area is a
   // user-space copy.
   co_await host_.copy(n);
 
-  ++ctr_.eager_messages_tx;
-  ++s->data_msgs_sent;
   // write() returns once the send is posted: the data already lives in a
   // registered staging slot that stays untouched until the credit that
   // paid for it comes back.
@@ -914,6 +997,7 @@ sim::Task<std::size_t> EmpSocketStack::dg_read(const SockPtr& s,
       std::size_t n = std::min<std::size_t>(out.size(), claimed->bytes);
       co_await host_.copy(n);
       std::memcpy(out.data(), s->dg_staging.data(), n);
+      bytes_copied_ += n;
       if (n < claimed->bytes) ++ctr_.truncated_datagrams;
       ++s->consumed_unacked;
       ++s->data_msgs_consumed;
@@ -962,6 +1046,7 @@ sim::Task<std::size_t> EmpSocketStack::dg_read(const SockPtr& s,
     if (!direct) {
       co_await host_.copy(n);
       std::memcpy(out.data(), s->dg_staging.data(), n);
+      bytes_copied_ += n;
     }
     if (n < result.bytes) ++ctr_.truncated_datagrams;
     ++s->consumed_unacked;
@@ -1000,6 +1085,7 @@ sim::Task<std::size_t> EmpSocketStack::rendezvous_read(
   std::size_t n = std::min<std::size_t>(out.size(), result.bytes);
   co_await host_.copy(n);
   std::memcpy(out.data(), tmp.data(), n);
+  bytes_copied_ += n;
   release_arena(std::move(tmp));
   ++ctr_.truncated_datagrams;
   ++s->data_msgs_consumed;

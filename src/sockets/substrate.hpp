@@ -66,6 +66,11 @@ class EmpSocketStack final : public os::SocketApi {
   sim::Task<std::size_t> read(int sd, std::span<std::uint8_t> out) override;
   sim::Task<std::size_t> write(int sd,
                                std::span<const std::uint8_t> in) override;
+  /// Zero-copy receive: in sliced mode the view lends the NIC-delivered
+  /// payload slices to the caller (no host copy at all); otherwise it
+  /// degrades to one copy through `view.scratch`, exactly like read().
+  sim::Task<std::size_t> read_view(int sd, os::RecvView& view,
+                                   std::size_t max_bytes) override;
   sim::Task<void> close(int sd) override;
   sim::Task<void> set_option(int sd, os::SockOpt opt, int value) override;
   sim::Task<int> get_option(int sd, os::SockOpt opt) override;
@@ -167,9 +172,12 @@ class EmpSocketStack final : public os::SocketApi {
   [[nodiscard]] sim::Task<void> comm_thread_penalty(const SockPtr& s);
 
   // read()/write() bodies; the public entry points wrap them in a timeline
-  // span without touching every co_return site.
+  // span without touching every co_return site.  `view` is non-null on the
+  // read_view() path, where `out` is the caller's scratch span: the two
+  // entry points share every await so the A/B digest cannot diverge.
   [[nodiscard]] sim::Task<std::size_t> read_impl(int sd,
-                                                 std::span<std::uint8_t> out);
+                                                 std::span<std::uint8_t> out,
+                                                 os::RecvView* view);
   [[nodiscard]] sim::Task<std::size_t> write_impl(
       int sd, std::span<const std::uint8_t> in);
 
@@ -219,6 +227,7 @@ class EmpSocketStack final : public os::SocketApi {
   SubstrateConfig default_cfg_;
   sim::CondVar activity_;
   Instruments ctr_;
+  obs::Counter& bytes_copied_;  // engine-wide "host/bytes_copied"
   obs::Tracer& tracer_;
   std::uint32_t trk_;  // ("h<N>", "sockets") timeline track
 

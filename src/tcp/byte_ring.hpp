@@ -1,0 +1,82 @@
+// Head-indexed byte FIFO for the TCP send/receive buffers.
+//
+// The stack trims acked bytes off the front of snd_buf and drains delivered
+// bytes off the front of rcv_buf on every segment; std::deque (and a naive
+// vector erase-from-front) make each trim O(live bytes), which turns a
+// streamed transfer into O(n^2) total byte moves.  ByteRing keeps the live
+// bytes contiguous in a vector after a head index and makes pop_front a
+// pointer bump, compacting only when the dead prefix is at least as large
+// as the live region.  That policy bounds total bytes ever moved by total
+// bytes ever appended: a compaction moving L live bytes only happens after
+// at least L bytes were popped since the last compaction, so each popped
+// byte pays for at most one move.  The moved()/appended() counters expose
+// the invariant for the no-quadratic-blowup regression test.
+//
+// Data is always contiguous (this is a sliding window, not a circular
+// buffer), so callers can take (data(), size()) views for segment slicing
+// without worrying about wrap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace ulsocks::tcp {
+
+class ByteRing {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept {
+    return buf_.size() - head_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return head_ == buf_.size(); }
+
+  /// Contiguous view of the live bytes (front of the FIFO first).
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return buf_.data() + head_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return {data(), size()};
+  }
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const noexcept {
+    return buf_[head_ + i];
+  }
+
+  void append(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    appended_ += bytes.size();
+  }
+
+  /// Drop `n` bytes from the front; n must be <= size().
+  void pop_front(std::size_t n) {
+    head_ += n;
+    const std::size_t live = buf_.size() - head_;
+    if (head_ >= live) {  // dead prefix >= live bytes: amortized-safe compact
+      if (live > 0) {
+        std::memmove(buf_.data(), buf_.data() + head_, live);
+        moved_ += live;
+      }
+      buf_.resize(live);
+      head_ = 0;
+    }
+  }
+
+  void clear() noexcept {
+    buf_.clear();
+    head_ = 0;
+  }
+
+  /// Lifetime byte-move accounting for the quadratic-blowup regression
+  /// test: the compaction policy guarantees moved() <= appended().
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] std::uint64_t moved() const noexcept { return moved_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t moved_ = 0;
+};
+
+}  // namespace ulsocks::tcp

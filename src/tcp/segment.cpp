@@ -1,5 +1,7 @@
 #include "tcp/segment.hpp"
 
+#include <algorithm>
+
 namespace ulsocks::tcp {
 
 namespace {
@@ -34,20 +36,10 @@ std::uint64_t get64(std::span<const std::uint8_t> in, std::size_t at) {
          (static_cast<std::uint64_t>(get32(in, at + 4)) << 32);
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> encode_segment(const Segment& s) {
-  std::vector<std::uint8_t> out;
-  encode_segment_into(s, out);
-  return out;
-}
-
-void encode_segment_into(const Segment& s, std::vector<std::uint8_t>& out) {
-  // Assemble the header on the stack, then append header and payload as
-  // two bulk ranges: one capacity check per range instead of one per byte.
+void build_header(const Segment& s, std::uint8_t* hdr) {
   // Zero-fill first so the pad to the nominal IP+TCP header size (honest
   // wire timing) needs no trailing loop.
-  std::uint8_t hdr[kSegmentHeaderBytes] = {};
+  std::fill_n(hdr, kSegmentHeaderBytes, std::uint8_t{0});
   store16(hdr + 0, s.src_node);
   store16(hdr + 2, s.dst_node);
   store16(hdr + 4, s.src_port);
@@ -61,10 +53,33 @@ void encode_segment_into(const Segment& s, std::vector<std::uint8_t>& out) {
   if (s.flags.fin) flags |= 4;
   if (s.flags.rst) flags |= 8;
   hdr[28] = flags;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_segment(const Segment& s) {
+  std::vector<std::uint8_t> out;
+  encode_segment_into(s, out);
+  return out;
+}
+
+void encode_segment_into(const Segment& s, std::vector<std::uint8_t>& out) {
+  // Assemble the header on the stack, then append header and payload as
+  // two bulk ranges: one capacity check per range instead of one per byte.
+  std::uint8_t hdr[kSegmentHeaderBytes];
+  build_header(s, hdr);
   out.clear();
   out.reserve(kSegmentHeaderBytes + s.payload.size());
   out.insert(out.end(), hdr, hdr + kSegmentHeaderBytes);
   out.insert(out.end(), s.payload.begin(), s.payload.end());
+}
+
+void encode_segment_header_into(const Segment& s,
+                                std::vector<std::uint8_t>& out) {
+  std::uint8_t hdr[kSegmentHeaderBytes];
+  build_header(s, hdr);
+  out.clear();
+  out.insert(out.end(), hdr, hdr + kSegmentHeaderBytes);
 }
 
 std::optional<Segment> decode_segment(std::span<const std::uint8_t> p) {
@@ -83,6 +98,22 @@ std::optional<Segment> decode_segment(std::span<const std::uint8_t> p) {
   s.flags.fin = flags & 4;
   s.flags.rst = flags & 8;
   s.payload.assign(p.begin() + kSegmentHeaderBytes, p.end());
+  return s;
+}
+
+std::optional<Segment> decode_segment_frame(const net::Frame& f) {
+  // The header is always in the inline region (sliced frames carry exactly
+  // the 40 header bytes there); the payload may be inline, sliced, or both.
+  if (f.payload.size() < kSegmentHeaderBytes) return std::nullopt;
+  auto s = decode_segment(
+      std::span<const std::uint8_t>(f.payload.data(), kSegmentHeaderBytes));
+  if (!s) return std::nullopt;
+  const std::size_t body = f.payload_bytes() - kSegmentHeaderBytes;
+  s->payload.resize(body);
+  if (body > 0) {
+    f.copy_payload(kSegmentHeaderBytes,
+                   std::span<std::uint8_t>(s->payload.data(), body));
+  }
   return s;
 }
 

@@ -12,6 +12,8 @@
 #include <span>
 #include <vector>
 
+#include "net/frame.hpp"
+
 namespace ulsocks::tcp {
 
 struct Flags {
@@ -43,7 +45,17 @@ inline constexpr std::uint32_t kMss = 1460;
 /// Same, but into `out` (cleared first) — reuses pooled frame payload
 /// capacity.
 void encode_segment_into(const Segment& s, std::vector<std::uint8_t>& out);
+/// Zero-copy encode: only the 40-byte header goes into `out` (cleared
+/// first); the payload rides as a frame slice instead of inline bytes.
+void encode_segment_header_into(const Segment& s,
+                                std::vector<std::uint8_t>& out);
 [[nodiscard]] std::optional<Segment> decode_segment(
     std::span<const std::uint8_t> payload);
+/// Decode from a wire frame, gathering the payload across the inline
+/// region and any scatter-gather slices.  Works identically for legacy
+/// (all-inline) and sliced frames, so the receive path has one code path
+/// and the A/B digest cannot diverge.
+[[nodiscard]] std::optional<Segment> decode_segment_frame(
+    const net::Frame& f);
 
 }  // namespace ulsocks::tcp

@@ -37,6 +37,7 @@ TcpStack::TcpStack(sim::Engine& eng, const sim::CostModel& model,
       activity_(eng),
       ctr_(obs::Scope(eng.metrics(),
                       "h" + std::to_string(host.id()) + "/tcp")),
+      bytes_copied_(eng.metrics().counter("host/bytes_copied")),
       tracer_(eng.tracer()),
       trk_(eng.tracer().track("h" + std::to_string(host.id()), "tcp")),
       next_ephemeral_(tunables.ephemeral_base) {
@@ -157,9 +158,9 @@ sim::Task<std::size_t> TcpStack::read(int sd, std::span<std::uint8_t> out) {
   std::size_t n = std::min(out.size(), c->rcv_buf.size());
   // Kernel-to-user copy: the cost the paper's substrate eliminates.
   co_await host_.copy(n);
-  std::copy_n(c->rcv_buf.begin(), n, out.begin());
-  c->rcv_buf.erase(c->rcv_buf.begin(),
-                   c->rcv_buf.begin() + static_cast<std::ptrdiff_t>(n));
+  std::copy_n(c->rcv_buf.data(), n, out.begin());
+  bytes_copied_ += n;
+  c->rcv_buf.pop_front(n);
   maybe_send_window_update(c);
   if (tracer_.enabled()) {
     tracer_.complete(trk_, t0, eng_.now() - t0, "read",
@@ -189,8 +190,8 @@ sim::Task<std::size_t> TcpStack::write(int sd,
   std::size_t n = std::min(space, in.size());
   // User-to-kernel copy.
   co_await host_.copy(n);
-  c->snd_buf.insert(c->snd_buf.end(), in.begin(),
-                    in.begin() + static_cast<std::ptrdiff_t>(n));
+  c->snd_buf.append(in.first(n));
+  bytes_copied_ += n;
   try_output(c);
   if (tracer_.enabled()) {
     tracer_.complete(trk_, t0, eng_.now() - t0, "write",
@@ -323,7 +324,14 @@ void TcpStack::emit(const ConnPtr& c, Flags flags, std::uint64_t seq,
   frame->dst = resolve_(seg.dst_node);
   frame->src = nic_.mac();
   frame->type = net::EtherType::kIpv4;
-  encode_segment_into(seg, frame->payload);
+  if (net::SlicePool::slicing_enabled() && !seg.payload.empty()) {
+    // Zero-copy: 40 header bytes inline, payload handed off as a slice.
+    encode_segment_header_into(seg, frame->payload);
+    frame->slices.push_back(net::PayloadSlice::adopt(std::move(seg.payload)));
+  } else {
+    encode_segment_into(seg, frame->payload);
+    bytes_copied_ += seg.payload.size();
+  }
   host_.cpu().run(
       model_.tcp.tx_segment_ns + model_.tcp.driver_tx_ns,
       [this, f = std::move(frame), wire_bytes]() mutable {
@@ -386,9 +394,9 @@ void TcpStack::try_output(const ConnPtr& c) {
         std::min<std::uint64_t>({sendable_data, kMss, wnd - inflight});
     // Nagle: hold sub-MSS segments while data is in flight.
     if (len < kMss && !c->nodelay && inflight > 0 && !c->fin_queued) break;
-    std::vector<std::uint8_t> payload(
-        c->snd_buf.begin() + static_cast<std::ptrdiff_t>(inflight),
-        c->snd_buf.begin() + static_cast<std::ptrdiff_t>(inflight + len));
+    const std::uint8_t* base = c->snd_buf.data() + inflight;
+    std::vector<std::uint8_t> payload(base, base + len);
+    bytes_copied_ += len;
     emit(c, Flags{.ack = true}, c->snd_nxt, std::move(payload));
     c->snd_nxt += len;
     arm_rto(c);
@@ -461,9 +469,9 @@ void TcpStack::rto_fire(const ConnPtr& c) {
       std::uint64_t len = std::min<std::uint64_t>(
           {kMss, c->snd_buf.size(), c->snd_nxt - c->snd_una});
       if (len > 0) {
-        std::vector<std::uint8_t> payload(
-            c->snd_buf.begin(),
-            c->snd_buf.begin() + static_cast<std::ptrdiff_t>(len));
+        std::vector<std::uint8_t> payload(c->snd_buf.data(),
+                                          c->snd_buf.data() + len);
+        bytes_copied_ += len;
         emit(c, Flags{.ack = true}, c->snd_una, std::move(payload),
              /*retransmit=*/true);
       }
@@ -524,8 +532,11 @@ void TcpStack::maybe_schedule_gc(const ConnPtr& c) {
 // ---------------------------------------------------------------------------
 
 void TcpStack::on_frame(net::FramePtr frame) {
-  auto seg = decode_segment(frame->payload);
+  // Gather-decode handles inline and sliced payloads through one code
+  // path (the DMA into the kernel ring exists in both A/B modes).
+  auto seg = decode_segment_frame(*frame);
   if (!seg) return;
+  bytes_copied_ += seg->payload.size();
   // Stock firmware receive handling, DMA into the kernel ring, then the
   // interrupt-coalescing window.  The segment moves through the event
   // chain; the wire frame returns to its pool as soon as it is decoded.
@@ -667,9 +678,7 @@ void TcpStack::handle_ack_advance(const ConnPtr& c, const Segment& seg) {
   std::uint64_t new_una = std::min(seg.ack, c->snd_nxt);
   std::uint64_t data_end = c->snd_una + c->snd_buf.size();
   std::uint64_t data_acked = std::min(new_una, data_end) - c->snd_una;
-  c->snd_buf.erase(c->snd_buf.begin(),
-                   c->snd_buf.begin() +
-                       static_cast<std::ptrdiff_t>(data_acked));
+  c->snd_buf.pop_front(static_cast<std::size_t>(data_acked));
   c->snd_una = new_una;
   c->retries = 0;
   c->cwnd = std::min<std::uint64_t>(c->cwnd + kMss, kCwndCap);
@@ -703,10 +712,9 @@ void TcpStack::established_input(const ConnPtr& c, Segment& seg) {
     } else {
       // In-order (possibly partially duplicate): deliver the new suffix.
       std::size_t skip = static_cast<std::size_t>(c->rcv_nxt - seq);
-      c->rcv_buf.insert(c->rcv_buf.end(), seg.payload.begin() +
-                                              static_cast<std::ptrdiff_t>(
-                                                  skip),
-                        seg.payload.end());
+      c->rcv_buf.append(
+          std::span<const std::uint8_t>(seg.payload).subspan(skip));
+      bytes_copied_ += seg.payload.size() - skip;
       c->rcv_nxt = end;
       advanced = true;
       // Drain any now-contiguous out-of-order segments.
@@ -716,10 +724,9 @@ void TcpStack::established_input(const ConnPtr& c, Segment& seg) {
         auto& data = it->second;
         if (oseq + data.size() > c->rcv_nxt) {
           std::size_t oskip = static_cast<std::size_t>(c->rcv_nxt - oseq);
-          c->rcv_buf.insert(c->rcv_buf.end(),
-                            data.begin() +
-                                static_cast<std::ptrdiff_t>(oskip),
-                            data.end());
+          c->rcv_buf.append(
+              std::span<const std::uint8_t>(data).subspan(oskip));
+          bytes_copied_ += data.size() - oskip;
           c->rcv_nxt = oseq + data.size();
         }
         c->ooo_bytes -= data.size();

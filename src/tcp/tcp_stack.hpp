@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/payload_slice.hpp"
 #include "nic/nic_device.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -32,6 +33,7 @@
 #include "oskernel/socket_api.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
+#include "tcp/byte_ring.hpp"
 #include "tcp/segment.hpp"
 
 namespace ulsocks::tcp {
@@ -107,8 +109,10 @@ class TcpStack final : public os::SocketApi {
     os::SockAddr remote{};
     bool bound = false;
     // Send side.  snd_buf holds stream bytes from snd_una onward; the
-    // prefix [snd_una, snd_nxt) is in flight.
-    std::deque<std::uint8_t> snd_buf;
+    // prefix [snd_una, snd_nxt) is in flight.  ByteRing, not deque: acks
+    // trim the front on every segment, and a front-erase that moves the
+    // live bytes each time is O(n^2) over a transfer.
+    ByteRing snd_buf;
     std::uint64_t snd_una = 0;
     std::uint64_t snd_nxt = 0;
     std::uint32_t snd_buf_limit = 0;
@@ -120,7 +124,7 @@ class TcpStack final : public os::SocketApi {
     std::uint64_t fin_seq = 0;
     bool fin_acked = false;
     // Receive side.
-    std::deque<std::uint8_t> rcv_buf;
+    ByteRing rcv_buf;
     std::uint64_t rcv_nxt = 0;
     std::map<std::uint64_t, std::vector<std::uint8_t>> ooo;
     std::size_t ooo_bytes = 0;
@@ -200,6 +204,7 @@ class TcpStack final : public os::SocketApi {
   std::uint16_t node_;
   sim::CondVar activity_;
   Instruments ctr_;
+  obs::Counter& bytes_copied_;  // global host/bytes_copied tally
   obs::Tracer& tracer_;
   std::uint32_t trk_;  // ("h<N>", "tcp") timeline track
 

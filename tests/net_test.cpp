@@ -6,6 +6,7 @@
 
 #include "net/frame.hpp"
 #include "net/link.hpp"
+#include "net/payload_slice.hpp"
 #include "net/switch.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
@@ -344,6 +345,137 @@ TEST(FramePool, CopiesAreIndependentOfPoolMembership) {
   EXPECT_EQ(copy->wire_id, 7u);
   copy->payload[0] = 0x22;
   EXPECT_EQ(original->payload[0], 0x11);
+}
+
+// ---------------------------------------------------------------------------
+// PayloadSlice / SlicePool
+// ---------------------------------------------------------------------------
+
+TEST(SlicePool, RecyclesStorageAndNeverBleedsStaleBytes) {
+  SlicePool pool;
+  std::size_t warm_capacity;
+  {
+    std::vector<std::uint8_t> big(4096, 0xee);
+    PayloadSlice s = pool.copy_in(big);
+    EXPECT_EQ(s.size(), 4096u);
+    warm_capacity = 4096;
+  }  // last ref dropped: storage returns to the pool
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.created(), 1u);
+
+  std::vector<std::uint8_t> small{1, 2, 3};
+  PayloadSlice t = pool.copy_in(small);
+  EXPECT_EQ(pool.recycled(), 1u) << "second acquire must reuse the buffer";
+  // The recycled buffer is filled exactly with the new bytes: no stale 0xee
+  // from the previous life is reachable through the slice.
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.data()[0], 1);
+  EXPECT_EQ(t.data()[2], 3);
+  (void)warm_capacity;
+}
+
+TEST(SlicePool, GatherConcatenatesHeaderAndBody) {
+  SlicePool pool;
+  std::vector<std::uint8_t> head{0xaa, 0xbb};
+  std::vector<std::uint8_t> body{1, 2, 3, 4};
+  PayloadSlice s = pool.gather(head, body);
+  ASSERT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.data()[0], 0xaa);
+  EXPECT_EQ(s.data()[1], 0xbb);
+  EXPECT_EQ(s.data()[2], 1);
+  EXPECT_EQ(s.data()[5], 4);
+}
+
+TEST(SlicePool, RefcountTracksCopiesAndSubslices) {
+  SlicePool pool;
+  std::vector<std::uint8_t> bytes(100, 0x7f);
+  PayloadSlice a = pool.copy_in(bytes);
+  EXPECT_EQ(a.use_count(), 1u);
+  PayloadSlice b = a;                    // copy: refcount bump
+  PayloadSlice c = a.subslice(10, 20);   // view: refcount bump, no copy
+  EXPECT_EQ(a.use_count(), 3u);
+  EXPECT_EQ(c.size(), 20u);
+  EXPECT_EQ(c.data(), a.data() + 10) << "subslice views the same buffer";
+  b = PayloadSlice{};
+  c = PayloadSlice{};
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(pool.outstanding(), 1u) << "one buffer, many views";
+}
+
+TEST(SlicePool, HighWaterMarkReportsPeakThroughGauge) {
+  SlicePool pool;
+  obs::Registry reg;
+  obs::Gauge& hwm = reg.gauge("h0/nic/slice_pool_hwm");
+  pool.bind_hwm_gauge(hwm);
+
+  std::vector<std::uint8_t> bytes(16);
+  std::vector<PayloadSlice> held;
+  for (int i = 0; i < 3; ++i) held.push_back(pool.copy_in(bytes));
+  EXPECT_EQ(pool.high_water_mark(), 3u);
+  EXPECT_EQ(hwm.value(), 3);
+
+  held.clear();
+  PayloadSlice s = pool.copy_in(bytes);  // peak was 3; one outstanding now
+  EXPECT_EQ(pool.outstanding(), 1u);
+  EXPECT_EQ(pool.high_water_mark(), 3u);
+  EXPECT_EQ(hwm.value(), 3);
+  EXPECT_GE(pool.recycled(), 1u);
+}
+
+TEST(SlicePool, SlicesSafelyOutliveTheirPool) {
+  // Queued events hold frames holding slices when a Cluster destructs; the
+  // release path must heap-free instead of pushing to a dead pool.
+  PayloadSlice straggler;
+  {
+    SlicePool pool;
+    std::vector<std::uint8_t> bytes(64, 0x5a);
+    straggler = pool.copy_in(bytes);
+  }  // pool destroyed while the slice is outstanding
+  ASSERT_EQ(straggler.size(), 64u);
+  EXPECT_EQ(straggler.data()[63], 0x5a);
+  straggler = PayloadSlice{};  // must not touch the dead pool (ASan gate)
+}
+
+TEST(PayloadSlice, AdoptWrapsAVectorWithoutAPool) {
+  std::vector<std::uint8_t> bytes{9, 8, 7};
+  PayloadSlice s = PayloadSlice::adopt(std::move(bytes));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.data()[0], 9);
+  PayloadSlice t = s;
+  EXPECT_EQ(s.use_count(), 2u);
+}
+
+TEST(Frame, PayloadBytesAndCopyPayloadSpanInlineAndSlices) {
+  SlicePool pool;
+  Frame f(MacAddress::for_host(1), MacAddress::for_host(2), EtherType::kEmp,
+          std::vector<std::uint8_t>{10, 11, 12});  // inline header region
+  std::vector<std::uint8_t> body{20, 21, 22, 23};
+  f.slices.push_back(pool.copy_in(body));
+  std::vector<std::uint8_t> tail{30, 31};
+  f.slices.push_back(pool.copy_in(tail));
+
+  EXPECT_EQ(f.payload_bytes(), 9u);
+  // Gather across the inline/slice boundary at an offset.
+  std::vector<std::uint8_t> out(6);
+  f.copy_payload(2, out);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{12, 20, 21, 22, 23, 30}));
+}
+
+TEST(FramePool, AcquireCopySharesSlicesInsteadOfDeepCopying) {
+  FramePool frames;
+  SlicePool slices;
+  FramePtr original = frames.acquire();
+  original->payload.assign(20, 0x42);
+  std::vector<std::uint8_t> body(1000, 0x33);
+  original->slices.push_back(slices.copy_in(body));
+
+  FramePtr copy = frames.acquire_copy(*original);
+  ASSERT_EQ(copy->slices.size(), 1u);
+  EXPECT_EQ(copy->slices[0].data(), original->slices[0].data())
+      << "flood copies must share the payload buffer, not duplicate it";
+  EXPECT_EQ(original->slices[0].use_count(), 2u);
+  EXPECT_EQ(slices.outstanding(), 1u);
+  EXPECT_EQ(copy->payload_bytes(), original->payload_bytes());
 }
 
 }  // namespace

@@ -485,5 +485,104 @@ TEST_F(TcpPair, ClosedConnectionsAreGarbageCollected) {
   EXPECT_EQ(stack_[1]->live_socket_count(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// ByteRing: the snd_buf/rcv_buf backing store
+// ---------------------------------------------------------------------------
+
+TEST(ByteRing, FifoSemanticsWithIndexing) {
+  ByteRing r;
+  EXPECT_TRUE(r.empty());
+  std::vector<std::uint8_t> a{1, 2, 3};
+  std::vector<std::uint8_t> b{4, 5};
+  r.append(a);
+  r.append(b);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[4], 5);
+  r.pop_front(2);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 3);
+  EXPECT_EQ(r.data()[2], 5) << "live bytes must stay contiguous";
+  r.pop_front(3);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteRing, DrainInSmallReadsNeverGoesQuadratic) {
+  // The regression this guards: a front-erase that shifts the remaining
+  // bytes on every pop makes draining N bytes in k-byte reads move
+  // O(N^2/k) bytes total.  ByteRing's compact-when-dead>=live policy
+  // bounds lifetime byte moves by lifetime bytes appended, so a 1000-read
+  // drain moves each byte at most once.
+  ByteRing r;
+  constexpr std::size_t kReads = 1000;
+  constexpr std::size_t kReadSize = 64;
+  std::vector<std::uint8_t> chunk(kReadSize, 0xcd);
+  for (std::size_t i = 0; i < kReads; ++i) r.append(chunk);
+  ASSERT_EQ(r.appended(), kReads * kReadSize);
+  for (std::size_t i = 0; i < kReads; ++i) r.pop_front(kReadSize);
+  EXPECT_TRUE(r.empty());
+  EXPECT_LE(r.moved(), r.appended())
+      << "compaction moved more bytes than were ever appended: the "
+         "quadratic front-erase blowup is back";
+}
+
+TEST(ByteRing, InterleavedAppendPopKeepsLinearMoves) {
+  // Steady-state streaming shape: the window fills, acks trim the front,
+  // more data lands.  Total moves must stay bounded by total appends even
+  // when the ring never fully drains between rounds.
+  ByteRing r;
+  std::vector<std::uint8_t> chunk(1460);
+  std::iota(chunk.begin(), chunk.end(), 0);
+  std::size_t popped = 0;
+  for (int round = 0; round < 500; ++round) {
+    r.append(chunk);
+    if (r.size() > 4 * 1460) {
+      r.pop_front(1460);
+      popped += 1460;
+    }
+  }
+  while (!r.empty()) {
+    std::size_t n = std::min<std::size_t>(97, r.size());
+    r.pop_front(n);
+    popped += n;
+  }
+  EXPECT_EQ(popped, r.appended());
+  EXPECT_LE(r.moved(), r.appended());
+}
+
+// decode_segment_frame must gather identically from an all-inline frame
+// and from a header+slice frame (the sliced TX path's wire form).
+TEST(Segment, FrameDecodeGathersInlineAndSlicedIdentically) {
+  Segment s;
+  s.src_node = 1;
+  s.dst_node = 2;
+  s.src_port = 4242;
+  s.dst_port = 80;
+  s.seq = 1000;
+  s.ack = 2000;
+  s.window = 8192;
+  s.flags = Flags{.ack = true};
+  s.payload.resize(500);
+  std::iota(s.payload.begin(), s.payload.end(), 0);
+
+  net::Frame inline_frame;
+  encode_segment_into(s, inline_frame.payload);
+
+  net::Frame sliced_frame;
+  encode_segment_header_into(s, sliced_frame.payload);
+  EXPECT_EQ(sliced_frame.payload.size(), kSegmentHeaderBytes);
+  sliced_frame.slices.push_back(net::PayloadSlice::adopt(s.payload));
+
+  EXPECT_EQ(inline_frame.payload_bytes(), sliced_frame.payload_bytes());
+  auto a = decode_segment_frame(inline_frame);
+  auto b = decode_segment_frame(sliced_frame);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->seq, b->seq);
+  EXPECT_EQ(a->flags, b->flags);
+  EXPECT_EQ(a->payload, b->payload);
+  EXPECT_EQ(a->payload, s.payload);
+}
+
 }  // namespace
 }  // namespace ulsocks::tcp
