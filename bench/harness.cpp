@@ -2,6 +2,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -17,6 +18,8 @@
 #include "apps/httpd.hpp"
 #include "apps/matmul.hpp"
 #include "obs/timeline.hpp"
+#include "scale.hpp"
+#include "sim/shard.hpp"
 
 namespace ulsocks::bench {
 
@@ -39,6 +42,12 @@ std::string g_trace_path;                                         // NOLINT
 std::atomic<std::uint64_t> g_total_events{0};   // NOLINT
 std::atomic<std::uint64_t> g_total_wall_ns{0};  // NOLINT
 std::atomic<unsigned> g_pool_threads{1};        // NOLINT
+// Shard/thread configuration recorded in the host_perf block: the largest
+// shard count any run used, the epoch window (lookahead) of the last
+// sharded run, and what --threads resolved to for this process.
+std::atomic<std::uint64_t> g_shards{1};            // NOLINT
+std::atomic<std::uint64_t> g_epoch_ns{0};          // NOLINT
+std::atomic<unsigned> g_resolved_threads{1};       // NOLINT
 
 /// Call before spawning workload coroutines: starts the wall clock and
 /// turns the tracer on when a trace export is armed, so the whole run is
@@ -74,6 +83,35 @@ void finish_run(Engine& eng) {
     }
     g_trace_path.clear();
   }
+}
+
+/// Merge the per-shard registry snapshots of a group into one map.  Host
+/// scopes ("h<N>/...") are disjoint across shards, so most keys appear
+/// once; keys shared by every engine (notably "host/bytes_copied") merge
+/// by suffix: /min takes the min, /max and the histogram quantiles take
+/// the max, everything else (counts, sums, gauges) adds.
+std::map<std::string, std::int64_t> merged_shard_metrics(
+    ulsocks::sim::ShardGroup& group) {
+  auto ends_with = [](const std::string& s, std::string_view suf) {
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  std::map<std::string, std::int64_t> out = group.shard(0).metrics().snapshot();
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    for (const auto& [key, v] : group.shard(i).metrics().snapshot()) {
+      auto [it, inserted] = out.try_emplace(key, v);
+      if (inserted) continue;
+      if (ends_with(key, "/min")) {
+        it->second = std::min(it->second, v);
+      } else if (ends_with(key, "/max") || ends_with(key, "/p50") ||
+                 ends_with(key, "/p99")) {
+        it->second = std::max(it->second, v);
+      } else {
+        it->second += v;
+      }
+    }
+  }
+  return out;
 }
 
 /// Peak resident set size of this process, in kilobytes.
@@ -473,10 +511,13 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     } else if (arg == "--threads") {
       int n = std::atoi(value());
       opt.threads = n > 0 ? static_cast<unsigned>(n) : 0;
+    } else if (arg == "--shards") {
+      int n = std::atoi(value());
+      opt.shards = n > 0 ? static_cast<unsigned>(n) : 0;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
                    "usage: %s [--iters N] [--trace FILE] [--out DIR] "
-                   "[--threads N]\n",
+                   "[--threads N] [--shards N]\n",
                    argv[0]);
       std::exit(0);
     } else {
@@ -486,6 +527,10 @@ BenchOptions parse_bench_args(int argc, char** argv) {
     }
   }
   if (!opt.trace_path.empty()) set_trace_export(opt.trace_path);
+  g_resolved_threads.store(opt.resolved_threads(), std::memory_order_relaxed);
+  if (opt.shards > 0) {
+    g_shards.store(opt.shards, std::memory_order_relaxed);
+  }
   return opt;
 }
 
@@ -546,6 +591,12 @@ std::string BenchResults::write(const std::string& dir) const {
     json += ", \"peak_rss_kb\": " + std::to_string(peak_rss_kb());
     json += ", \"threads\": " +
             std::to_string(g_pool_threads.load(std::memory_order_relaxed));
+    json += ", \"shards\": " +
+            std::to_string(g_shards.load(std::memory_order_relaxed));
+    json += ", \"epoch_ns\": " +
+            std::to_string(g_epoch_ns.load(std::memory_order_relaxed));
+    json += ", \"resolved_threads\": " +
+            std::to_string(g_resolved_threads.load(std::memory_order_relaxed));
     json += "},\n";
   }
   json += "  \"points\": [";
@@ -691,6 +742,55 @@ double measure_web_response_us(const StackChoice& stack,
     for (std::size_t i = 0; i < st.count(); ++i) all.add(st.mean());
   }
   return all.mean();
+}
+
+double measure_scale_web_evps(const StackChoice& stack, std::size_t hosts,
+                              std::size_t shards, unsigned threads,
+                              std::size_t requests_per_client) {
+  ScaleWebOptions opt;
+  opt.hosts = hosts;
+  opt.shards = shards;
+  // Never oversubscribe a perf measurement: more workers than cores turns
+  // the epoch spin-barrier into scheduler thrash.  The simulated result is
+  // thread-count invariant, so clamping only changes wall clock.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  opt.threads = std::min({static_cast<unsigned>(threads), hw,
+                          static_cast<unsigned>(shards)});
+  opt.requests_per_client = requests_per_client;
+  ScaleWeb scale(sim::calibrated_cost_model(), stack.cfg(), opt);
+  // No arm_run(): the tracer is per-engine and a sharded run has several,
+  // so trace exports stay a serial-run feature.
+  g_run_t0 = std::chrono::steady_clock::now();
+  scale.run(stack.kind() == StackChoice::Kind::kTcp
+                ? Cluster::StackKind::kTcp
+                : Cluster::StackKind::kSubstrate);
+  const auto wall = std::chrono::steady_clock::now() - g_run_t0;
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  const std::uint64_t events = scale.group().events_executed();
+  g_last_host_perf.wall_ms = static_cast<double>(wall_ns) / 1e6;
+  g_last_host_perf.events = events;
+  g_last_host_perf.events_per_sec =
+      wall_ns > 0
+          ? static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns)
+          : 0.0;
+  g_total_events.fetch_add(events, std::memory_order_relaxed);
+  g_total_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  g_last_metrics = merged_shard_metrics(scale.group());
+  std::uint64_t prev = g_shards.load(std::memory_order_relaxed);
+  while (prev < shards && !g_shards.compare_exchange_weak(
+                              prev, shards, std::memory_order_relaxed)) {
+  }
+  g_epoch_ns.store(scale.group().lookahead(), std::memory_order_relaxed);
+  // Record what the sharded run actually used (post-clamp), so the JSON
+  // says whether this host could demonstrate parallel speedup at all;
+  // check_hostperf.py keys its speedup assertion off this.
+  unsigned prev_t = g_resolved_threads.load(std::memory_order_relaxed);
+  while (prev_t < opt.threads &&
+         !g_resolved_threads.compare_exchange_weak(prev_t, opt.threads,
+                                                   std::memory_order_relaxed)) {
+  }
+  return g_last_host_perf.events_per_sec;
 }
 
 double measure_matmul_ms(const StackChoice& stack, std::size_t n) {

@@ -113,15 +113,21 @@ void set_trace_export(std::string path);
 ///   --trace F    export a Chrome trace of the first run to F
 ///   --out DIR    directory for BENCH_<figure>.json (default ".")
 ///   --threads N  run_points() pool size (0 = auto: hardware threads, <= 8)
+///   --shards N   shard count for sharded scenarios (0 = scenario default)
 struct BenchOptions {
   int iters = 0;  // 0: the figure's default
   std::string trace_path;
   std::string out_dir = ".";
   unsigned threads = 0;  // 0: auto
+  unsigned shards = 0;   // 0: each scenario picks its own
 
   [[nodiscard]] int iters_or(int dflt) const { return iters > 0 ? iters : dflt; }
   /// Pool size for run_points(): --threads, or the auto default.
   [[nodiscard]] unsigned resolved_threads() const;
+  /// Shard count for sharded scenarios: --shards, or `dflt`.
+  [[nodiscard]] std::size_t shards_or(std::size_t dflt) const {
+    return shards > 0 ? shards : dflt;
+  }
 };
 [[nodiscard]] BenchOptions parse_bench_args(int argc, char** argv);
 
@@ -233,6 +239,18 @@ class BenchResults {
                                                 std::size_t msg_bytes,
                                                 std::size_t total_bytes,
                                                 bool dual_cpu);
+
+/// Host events/sec of the many-host sharded web workload (bench/scale.hpp):
+/// 1 server + (hosts-1) clients on a star, partitioned over `shards`
+/// engines run by `threads` workers.  The simulated result is shard-count
+/// invariant; the returned wall-clock throughput is what scales.
+/// last_run_metrics() afterwards holds the merged cross-shard snapshot and
+/// last_run_host_perf() the aggregate event count.
+[[nodiscard]] double measure_scale_web_evps(const StackChoice& stack,
+                                            std::size_t hosts,
+                                            std::size_t shards,
+                                            unsigned threads,
+                                            std::size_t requests_per_client);
 
 /// Pretty size label ("4", "1K", "64K").
 [[nodiscard]] std::string size_label(std::size_t bytes);

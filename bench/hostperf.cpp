@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   const std::size_t bw_total = smoke ? (4ul << 20) : (96ul << 20);
   const std::size_t ftp_bytes = smoke ? (512ul << 10) : (24ul << 20);
   const int lat_iters = smoke ? opt.iters : 2000;
+  const std::size_t scale_requests = smoke ? 8 : 192;
 
   struct Scenario {
     const char* name;
@@ -100,6 +101,19 @@ int main(int argc, char** argv) {
        [&] { return measure_ftp_mbps(ds, ftp_bytes); }},
       {"emp_bw_64K", &emp, "64K",
        [&] { return measure_bandwidth_mbps(emp, 65536, bw_total); }},
+      // Sharded scaling: the same 16-host web workload serial and at 4
+      // shards x 4 threads.  The simulated result is identical; the
+      // events/sec ratio between the two points is the parallel speedup
+      // the sharded engine buys (gated >= 2x via the committed baseline).
+      {"scale_web_16hosts", &ds, "1shard",
+       [&] {
+         return measure_scale_web_evps(ds, 16, 1, 1, scale_requests);
+       }},
+      {"scale_web_16hosts", &ds, "4shards",
+       [&] {
+         return measure_scale_web_evps(ds, 16, opt.shards_or(4), 4,
+                                       scale_requests);
+       }},
   };
 
   sim::ResultTable table({"scenario", "stack", "Mev/s", "wall_ms"});

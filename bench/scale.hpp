@@ -1,0 +1,87 @@
+// Many-host scaling topology: one web server plus N-1 request clients on a
+// sharded star network (sim/shard.hpp).  This is the workload the sharded
+// engine exists for — fig15/16-style traffic at host counts a serial event
+// loop cannot sustain — packaged so benches and tests can build it with
+// any shard count and compare results across counts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/cluster.hpp"
+#include "apps/httpd.hpp"
+#include "net/link.hpp"
+#include "oskernel/process.hpp"
+#include "sim/shard.hpp"
+#include "sim/stats.hpp"
+#include "sockets/config.hpp"
+
+namespace ulsocks::bench {
+
+struct ScaleWebOptions {
+  std::size_t hosts = 16;   // host 0 serves, the rest request
+  std::size_t shards = 1;   // ShardGroup size (1 = serial reference)
+  unsigned threads = 1;     // worker threads for ShardGroup::run
+  std::uint32_t response_bytes = 8192;
+  std::uint32_t requests_per_connection = 8;  // HTTP/1.1 style
+  std::size_t requests_per_client = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Builds the sharded cluster; run() spawns the server and every client on
+/// its own shard's engine and drives the group to completion.
+class ScaleWeb {
+ public:
+  ScaleWeb(const sim::CostModel& model, const sockets::SubstrateConfig& cfg,
+           const ScaleWebOptions& opt)
+      : opt_(opt),
+        group_(opt.shards, net::shard_lookahead(model.wire), opt.seed),
+        cluster_(group_, model, opt.hosts, cfg),
+        per_client_(opt.hosts > 1 ? opt.hosts - 1 : 0) {}
+
+  [[nodiscard]] sim::ShardGroup& group() { return group_; }
+  [[nodiscard]] apps::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] const std::vector<sim::OnlineStats>& per_client() const {
+    return per_client_;
+  }
+
+  void run(apps::Cluster::StackKind kind = apps::Cluster::StackKind::kSubstrate) {
+    auto server = [&]() -> sim::Task<void> {
+      os::Process proc(cluster_.node(0).host);
+      apps::WebServerOptions so;
+      so.requests_per_connection = opt_.requests_per_connection;
+      so.max_connections =
+          (opt_.hosts - 1) *
+          ((opt_.requests_per_client + opt_.requests_per_connection - 1) /
+           opt_.requests_per_connection);
+      co_await apps::web_server(proc, cluster_.stack(0, kind), so);
+    };
+    auto client = [&](std::size_t idx) -> sim::Task<void> {
+      // Stagger connects on the client's own engine so the accept queue
+      // sees an orderly arrival pattern at any host count.
+      co_await cluster_.node_engine(idx + 1).delay(10'000 + idx * 700);
+      os::Process proc(cluster_.node(idx + 1).host);
+      apps::WebClientOptions co;
+      co.server_node = 0;
+      co.response_bytes = opt_.response_bytes;
+      co.requests_per_connection = opt_.requests_per_connection;
+      co.total_requests = opt_.requests_per_client;
+      co_await apps::web_client(proc, cluster_.stack(idx + 1, kind), co,
+                                per_client_[idx]);
+    };
+    cluster_.node_engine(0).spawn(server());
+    for (std::size_t i = 0; i + 1 < opt_.hosts; ++i) {
+      cluster_.node_engine(i + 1).spawn(client(i));
+    }
+    group_.run(opt_.threads);
+  }
+
+ private:
+  ScaleWebOptions opt_;
+  sim::ShardGroup group_;
+  apps::Cluster cluster_;
+  std::vector<sim::OnlineStats> per_client_;
+};
+
+}  // namespace ulsocks::bench

@@ -7,7 +7,9 @@
 #   3. The coroutine-capture lint (scripts/lint_coro_captures.py).
 #   4. Bench smoke: a short fig11_latency run must emit a BENCH_*.json
 #      that passes scripts/validate_bench_json.py.
-#   5. Host-perf gate: a Release build runs bench/hostperf and
+#   5. ThreadSanitizer build running the sharded determinism tests with
+#      4 shards on 4 worker threads (the parallel engine's race surface).
+#   6. Host-perf gate: a Release build runs bench/hostperf and
 #      scripts/check_hostperf.py fails the gate if events/sec dropped
 #      more than 25% below bench/baselines/BENCH_hostperf.json.
 #
@@ -18,7 +20,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/5] Debug + ASan/UBSan build and test"
+echo "==> [1/6] Debug + ASan/UBSan build and test"
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DULSOCKS_SANITIZE=address,undefined
@@ -27,7 +29,7 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ASAN_OPTIONS=halt_on_error=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
-echo "==> [2/5] clang-tidy"
+echo "==> [2/6] clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
   if command -v run-clang-tidy >/dev/null 2>&1; then
@@ -39,16 +41,29 @@ else
   echo "WARNING: clang-tidy not installed; skipping static analysis" >&2
 fi
 
-echo "==> [3/5] coroutine-capture lint"
+echo "==> [3/6] coroutine-capture lint"
 python3 scripts/lint_coro_captures.py src
 
-echo "==> [4/5] bench smoke + results-schema validation"
+echo "==> [4/6] bench smoke + results-schema validation"
 SMOKE_DIR="$BUILD_DIR/bench-smoke"
 mkdir -p "$SMOKE_DIR"
 "$BUILD_DIR/bench/fig11_latency" --iters 3 --out "$SMOKE_DIR" >/dev/null
 python3 scripts/validate_bench_json.py "$SMOKE_DIR"/BENCH_*.json
 
-echo "==> [5/5] host-perf gate (Release build, full hostperf bench)"
+echo "==> [5/6] ThreadSanitizer: sharded determinism tests with real threads"
+# The sharded engine's only cross-thread surface is the epoch barrier and
+# the mailboxes; the Sharding.* tests run 4-shard groups on 4 worker
+# threads, which is exactly the surface TSan needs to see.  TSan excludes
+# the other sanitizers, so this is its own build tree.
+TSAN_DIR="$BUILD_DIR-tsan"
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DULSOCKS_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$JOBS" --target determinism_test
+TSAN_OPTIONS=halt_on_error=1 \
+  "$TSAN_DIR/tests/determinism_test" --gtest_filter='Sharding.*'
+
+echo "==> [6/6] host-perf gate (Release build, full hostperf bench)"
 # Sanitizer builds measure the sanitizer, not the simulator: the host-perf
 # numbers only mean something at -O2/-O3 without instrumentation.
 PERF_DIR="$BUILD_DIR-release"

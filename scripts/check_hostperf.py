@@ -20,6 +20,15 @@ too: it is deterministic (a pure function of the workload), so the current
 value may not exceed the baseline by more than 10% — that would mean a
 copy crept back into the zero-copy data path.
 
+The sharded engine has its own gate: the scale_web_16hosts scenario is
+recorded at 1 shard and 4 shards, and the 4-shard point must reach at
+least 2x the 1-shard events/sec — the parallel speedup the sharded engine
+exists to buy.  Speedup requires cores: the check applies only when
+host_perf.resolved_threads in the CURRENT run is > 1 (the bench clamps its
+workers to the hardware, so resolved_threads == 1 means a single-core host
+where the 4-shard point measures epoch overhead, not parallelism, and the
+plain 25% regression gate is the only meaningful bound).
+
 Usage: check_hostperf.py CURRENT [BASELINE] [--min-ratio R] [--allow-missing]
   CURRENT    BENCH_hostperf.json from the build under test
   BASELINE   committed reference (default bench/baselines/BENCH_hostperf.json)
@@ -38,6 +47,9 @@ DEFAULT_MIN_RATIO = 0.75
 # bytes_copied is deterministic per workload; allow slack only for
 # smoke-vs-full sizing mistakes to surface loudly, not for drift.
 BYTES_COPIED_MAX_RATIO = 1.10
+# Required 4-shard/1-shard events/sec ratio on multi-core hosts.
+SHARD_SERIES = "scale_web_16hosts"
+MIN_SHARD_SPEEDUP = 2.0
 
 
 def evps_points(path):
@@ -50,6 +62,35 @@ def evps_points(path):
             copied = p.get("metrics", {}).get("host/bytes_copied")
             points[(p["series"], p["x"])] = (float(p["value"]), copied)
     return points
+
+
+def resolved_threads(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("host_perf", {}).get("resolved_threads", 1)
+
+
+def check_shard_speedup(current, current_path):
+    """Returns a list of failure tuples (possibly empty)."""
+    one = current.get((SHARD_SERIES, "1shard"))
+    four = current.get((SHARD_SERIES, "4shards"))
+    if one is None or four is None:
+        return []
+    threads = resolved_threads(current_path)
+    speedup = four[0] / one[0] if one[0] > 0 else float("inf")
+    if threads <= 1:
+        print(f"NOTE {SHARD_SERIES}: 4-shard/1-shard ratio {speedup:.2f} on "
+              f"a single-core host (resolved_threads={threads}); the "
+              f">= {MIN_SHARD_SPEEDUP:.0f}x parallel-speedup gate needs "
+              "cores and is skipped")
+        return []
+    status = "OK " if speedup >= MIN_SHARD_SPEEDUP else "FAIL"
+    print(f"{status} {SHARD_SERIES:<16} 4-shard speedup {speedup:5.2f}x "
+          f"(required >= {MIN_SHARD_SPEEDUP:.0f}x on "
+          f"resolved_threads={threads})")
+    if speedup < MIN_SHARD_SPEEDUP:
+        return [(SHARD_SERIES, "4shards-speedup", speedup)]
+    return []
 
 
 def main(argv):
@@ -107,6 +148,7 @@ def main(argv):
     for key in sorted(set(current) - set(baseline)):
         print(f"NOTE: new scenario {key[0]}/{key[1]} has no baseline; "
               f"refresh with: cp {current_path} {baseline_path}")
+    failures.extend(check_shard_speedup(current, current_path))
 
     if failures:
         print(f"\nERROR: {len(failures)} host-perf gate failure(s)",

@@ -8,7 +8,14 @@ Checks the ulsocks.bench.v1 schema without third-party dependencies:
     "figure": str, "title": str,
     "host_perf": {"events": int, "wall_ms": number,          # optional
                   "events_per_sec": number, "peak_rss_kb": int,
-                  "threads": int},
+                  "threads": int,
+                  # shard/thread configuration of the process's runs:
+                  # largest shard count used, the epoch window (lookahead,
+                  # simulated ns) of the sharded runs, and the worker
+                  # thread count the sharded runs actually used after
+                  # clamping to the hardware.
+                  "shards": int, "epoch_ns": int,
+                  "resolved_threads": int},
     "points": [{"series": str, "stack": str, "config": str, "x": str,
                 "value": number, "unit": str,
                 "metrics": {str: int, ...}}, ...]
@@ -37,6 +44,9 @@ HOST_PERF_FIELDS = {
     "events_per_sec": (int, float),
     "peak_rss_kb": int,
     "threads": int,
+    "shards": int,
+    "epoch_ns": int,
+    "resolved_threads": int,
 }
 
 

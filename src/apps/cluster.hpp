@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/invariant.hpp"
 #include "emp/endpoint.hpp"
 #include "net/topology.hpp"
 #include "nic/nic_device.hpp"
@@ -17,6 +18,7 @@
 #include "oskernel/process.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
 #include "sockets/substrate.hpp"
 #include "tcp/tcp_stack.hpp"
 
@@ -58,6 +60,58 @@ class Cluster {
           eng, model, static_cast<std::uint16_t>(i), net_.host_link(i), cfg,
           tcp_tun, dual_cpu_nic));
     }
+  }
+
+  /// Sharded testbed: the switch fabric runs on shard 0 and node i runs on
+  /// shard `shard_of_node(i, group.size())`.  Per-shard protocol checkers
+  /// keep sweeping on their own engines; a group-level checker asserts
+  /// cross-shard frame conservation at epoch barriers.  With a one-shard
+  /// group this is byte-identical to the serial constructor above.
+  Cluster(sim::ShardGroup& group, const sim::CostModel& model,
+          std::size_t node_count, sockets::SubstrateConfig cfg = {},
+          tcp::TcpTunables tcp_tun = {}, bool dual_cpu_nic = true)
+      : eng_(group.shard(0)), model_(model),
+        net_(group, model.wire, node_count) {
+    nodes_.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      nodes_.push_back(std::make_unique<Node>(
+          group.shard(shard_of_node(i, group.size())), model,
+          static_cast<std::uint16_t>(i), net_.host_link(i), cfg, tcp_tun,
+          dual_cpu_nic));
+    }
+    // Frames the switch pushed toward host i either arrived at its NIC
+    // (counted received or filtered) or are still in flight — never more
+    // arrivals than the link carried.  The two sides of the inequality
+    // live on different shards, so this can only be read at a barrier.
+    group.checks().add("net.cross_shard_frame_conservation", [this] {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const net::Link& l = net_.host_link(i);
+        const std::uint64_t carried =
+            l.frames_sent(net::Link::Side::kB) -
+            l.frames_dropped(net::Link::Side::kB);
+        const std::uint64_t arrived =
+            nodes_[i]->nic.frames_rx() + nodes_[i]->nic.frames_filtered();
+        ULSOCKS_INVARIANT(
+            arrived <= carried,
+            check::msgf("host %zu NIC saw %llu frames but its link only "
+                        "carried %llu",
+                        i, static_cast<unsigned long long>(arrived),
+                        static_cast<unsigned long long>(carried)));
+      }
+    });
+  }
+
+  /// Host-to-shard placement of the sharded constructor: the switch owns
+  /// shard 0, so node i goes to shard (i + 1) % shards — node 0 (the
+  /// server in the web workloads) never shares a core with the fabric.
+  [[nodiscard]] static std::size_t shard_of_node(std::size_t node,
+                                                std::size_t shards) {
+    return shards <= 1 ? 0 : (node + 1) % shards;
+  }
+
+  /// The engine node i's host stack runs on (eng_ in the serial case).
+  [[nodiscard]] sim::Engine& node_engine(std::size_t i) {
+    return node(i).nic.engine();
   }
 
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }

@@ -120,6 +120,9 @@ struct RecvState {
   bool failed = false;
   bool unposted = false;
   bool filed = false;  // descriptor reached the NIC walk list
+  // Index of this descriptor in the endpoint's walk list while filed;
+  // makes removal a single O(1) tombstone write (see walk_remove).
+  std::size_t walk_slot = ~std::size_t{0};
   // Sliced mode: the caller asked to receive fragments as refcounted
   // slices (one per frame index) instead of a contiguous copy into
   // `buffer`.  `parts` is sized at bind time; messages that arrive via
@@ -296,7 +299,7 @@ class EmpEndpoint {
 
   // ---- Resource accounting (used by substrate/leak tests) ----
   [[nodiscard]] std::size_t posted_descriptor_count() const {
-    return walk_.size();
+    return walk_.size() - walk_tombstones_;
   }
   [[nodiscard]] std::size_t unexpected_free_count() const;
   [[nodiscard]] std::size_t unexpected_ready_count() const {
@@ -337,7 +340,9 @@ class EmpEndpoint {
     /// Tag-match walk length per incoming data frame (descriptors +
     /// unexpected entries inspected; the 550 ns/descriptor cost driver).
     obs::Histogram& tag_walk_len;
-    /// Pre-posted descriptor queue depth observed as each descriptor files.
+    /// Live pre-posted descriptor count, observed on both edges of the
+    /// queue: as each descriptor files and as each is removed (completion,
+    /// unpost, unexpected delivery).
     obs::Histogram& desc_queue_depth;
     explicit Instruments(obs::Scope scope);
   };
@@ -443,8 +448,17 @@ class EmpEndpoint {
 
   std::uint32_t next_msg_id_ = 1;
 
-  // NIC-side receive state.
-  std::vector<RecvHandle> walk_;  // pre-posted descriptors, in post order
+  /// Remove `r` from the walk list by tombstoning its slot (null entry;
+  /// post order preserved), compacting only when tombstones outnumber live
+  /// descriptors.  No-op if `r` never filed.  Observes desc_queue_depth.
+  void walk_remove(const RecvHandle& r);
+
+  // NIC-side receive state.  walk_ holds pre-posted descriptors in post
+  // order; null entries are tombstones of removed descriptors (counted by
+  // walk_tombstones_) that every scan skips without charging modeled
+  // per-descriptor walk time — the NIC's list never contained them.
+  std::vector<RecvHandle> walk_;
+  std::size_t walk_tombstones_ = 0;
   std::list<UnexpectedEntry> unexpected_pool_;
   std::vector<UnexpectedEntry*> unexpected_ready_;
   std::unordered_map<std::uint64_t, Binding> bound_;

@@ -1,6 +1,11 @@
 #include "net/link.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "net/payload_slice.hpp"
+#include "sim/shard.hpp"
 
 namespace ulsocks::net {
 
@@ -18,13 +23,56 @@ DropPolicy random_drop_policy(sim::Rng& rng, double p) {
   return [&rng, p](const Frame&) { return rng.chance(p); };
 }
 
+DropPolicy random_drop_policy(std::uint64_t seed, double p) {
+  auto rng = std::make_shared<sim::Rng>(seed);
+  return [rng, p](const Frame&) { return rng->chance(p); };
+}
+
+sim::Duration shard_lookahead(const sim::WireCosts& wire) {
+  return sim::serialization_ns(Frame{}.wire_bytes(), wire.link_bps) +
+         wire.propagation_ns;
+}
+
+namespace {
+
+// Deep-copy `f` into a fresh heap frame owned by no pool, with every
+// payload slice re-backed by private heap storage.  Frame pools, slice
+// pools and slice refcounts are all single-threaded per shard, so a frame
+// crossing shards must leave its source shard's allocator world entirely;
+// the copy happens on the source thread, and the original (with its pool
+// and slice references) dies there too.  Slice boundaries are preserved so
+// scatter-gather receive paths behave identically serial vs. sharded.
+FramePtr clone_for_shard_transfer(const Frame& f) {
+  FramePtr out = make_frame_ptr();
+  out->dst = f.dst;
+  out->src = f.src;
+  out->type = f.type;
+  out->wire_id = f.wire_id;
+  out->payload = f.payload;
+  out->slices.reserve(f.slices.size());
+  for (const PayloadSlice& s : f.slices) {
+    auto span = s.span();
+    out->slices.push_back(
+        PayloadSlice::adopt(std::vector<std::uint8_t>(span.begin(), span.end())));
+  }
+  return out;
+}
+
+}  // namespace
+
+void Link::resolve_shard(Endpoint& e) {
+  if (group_ != nullptr && e.eng != nullptr) {
+    e.shard = group_->index_of(*e.eng);
+  }
+}
+
 sim::Time Link::transmit(Side side, FramePtr frame) {
   auto& from = end_[static_cast<int>(side)];
   auto& to = end_[1 - static_cast<int>(side)];
-  frame->wire_id = next_wire_id_++;
+  frame->wire_id = from.next_wire_id++;
   ++from.sent;
 
-  sim::Time start = std::max(eng_.now(), from.busy_until);
+  sim::Time start = std::max(from.eng->now(), from.busy_until);
   sim::Duration ser = serialization_time(*frame);
   from.busy_until = start + ser;
 
@@ -34,10 +82,23 @@ sim::Time Link::transmit(Side side, FramePtr frame) {
   }
 
   sim::Time arrival = from.busy_until + propagation_ns_;
-  // EventFn is move-only, so the frame travels in the event itself.
-  eng_.schedule_at(arrival, [sink = to.sink, f = std::move(frame)]() mutable {
-    if (sink) sink->frame_arrived(std::move(f));
-  });
+  if (to.eng == from.eng) {
+    // EventFn is move-only, so the frame travels in the event itself.
+    from.eng->schedule_at(arrival,
+                          [sink = to.sink, f = std::move(frame)]() mutable {
+                            if (sink) sink->frame_arrived(std::move(f));
+                          });
+  } else {
+    // Cross-shard: arrival >= now + serialization(min frame) + propagation
+    // >= now + lookahead, which is exactly what post_remote demands.
+    FramePtr crossed = clone_for_shard_transfer(*frame);
+    frame.reset();  // original returns to its source-shard pool here
+    group_->post_remote(
+        from.shard, to.shard, arrival,
+        [sink = to.sink, f = std::move(crossed)]() mutable {
+          if (sink) sink->frame_arrived(std::move(f));
+        });
+  }
   return from.busy_until;
 }
 

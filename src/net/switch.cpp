@@ -59,7 +59,7 @@ void EthernetSwitch::connect(std::size_t port, Link& link, Link::Side side) {
                                 ports_.size()));
   ports_[port]->link = &link;
   ports_[port]->side = side;
-  link.attach(side, &ports_[port]->sink);
+  link.attach(side, &ports_[port]->sink, eng_);
 }
 
 void EthernetSwitch::ingress(std::size_t port, FramePtr frame) {

@@ -8,6 +8,7 @@
 #include "net/switch.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
 
 namespace ulsocks::net {
 
@@ -22,6 +23,24 @@ class StarNetwork {
     links_.reserve(host_count);
     for (std::size_t i = 0; i < host_count; ++i) {
       links_.push_back(std::make_unique<Link>(eng, wire));
+      switch_.connect(i, *links_.back(), Link::Side::kB);
+    }
+  }
+
+  /// Sharded variant: the switch — and the switch side of every link —
+  /// lives on shard 0 of `group`; each link routes cross-engine transmits
+  /// through the group's mailboxes.  The host side of a link binds to its
+  /// host's shard when the NIC attaches with its engine, so host placement
+  /// is decided by whoever constructs the hosts (see apps::Cluster).  With
+  /// a one-shard group every transmit resolves to the local path and the
+  /// topology is byte-identical to the serial constructor.
+  StarNetwork(sim::ShardGroup& group, const sim::WireCosts& wire,
+              std::size_t host_count)
+      : switch_(group.shard(0), wire, host_count) {
+    links_.reserve(host_count);
+    for (std::size_t i = 0; i < host_count; ++i) {
+      links_.push_back(std::make_unique<Link>(group.shard(0), wire));
+      links_.back()->set_shard_group(group);
       switch_.connect(i, *links_.back(), Link::Side::kB);
     }
   }

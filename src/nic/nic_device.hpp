@@ -51,7 +51,7 @@ class NicDevice final : public net::FrameSink {
                                 "nic")) {
     pool_.bind_hwm_gauge(scope_.gauge("frame_pool_hwm"));
     slice_pool_.bind_hwm_gauge(scope_.gauge("slice_pool_hwm"));
-    link_.attach(side_, this);
+    link_.attach(side_, this, eng_);
   }
 
   [[nodiscard]] net::MacAddress mac() const noexcept { return mac_; }

@@ -15,6 +15,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -134,6 +135,24 @@ class Engine {
     }
   }
 
+  /// Run every event with t strictly below `bound`, then return without
+  /// advancing now() to the bound.  This is the epoch primitive of the
+  /// sharded engine (sim/shard.hpp): leaving now() at the last executed
+  /// event keeps `schedule_at(arrival >= bound)` legal for cross-shard
+  /// deliveries, and an idle epoch leaves the engine byte-identical to not
+  /// having run at all.  Returns true if the queue drained.
+  bool run_before(Time bound) {
+    while (!stop_ && pending() && next_time() < bound) {
+      step();
+      if (root_error_) {
+        auto err = root_error_;
+        root_error_ = nullptr;
+        std::rethrow_exception(err);
+      }
+    }
+    return !pending();
+  }
+
   /// Run until simulated time would exceed `deadline` (events at exactly
   /// `deadline` still run).  Returns true if the queue drained.
   bool run_until(Time deadline) {
@@ -167,6 +186,25 @@ class Engine {
   /// tier-1 gate depends on (tests/determinism_test.cpp).
   [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
 
+  /// Order-insensitive companion of digest(): a wrapping sum of mix64(t)
+  /// over every executed event.  Unlike digest() it does not fold the
+  /// per-engine sequence numbers, so it is invariant under repartitioning
+  /// the same event set across shards — the cross-shard-count identity the
+  /// sharded determinism tests assert (see sim/shard.hpp).
+  [[nodiscard]] std::uint64_t causal_digest() const noexcept {
+    return causal_digest_;
+  }
+
+  /// Timestamp of the earliest queued event, or nothing if the queue is
+  /// empty.  The shard scheduler uses this to compute each epoch's bound.
+  [[nodiscard]] std::optional<Time> next_event_time() {
+    if (!pending()) return std::nullopt;
+    return next_time();
+  }
+
+  /// True while any event is queued.
+  [[nodiscard]] bool has_pending() const noexcept { return pending(); }
+
   /// Cross-layer invariant checkers (see check/registry.hpp).  Protocol
   /// objects register themselves here; the engine sweeps the registry
   /// every `check_interval()` events and lets violations propagate out of
@@ -193,6 +231,16 @@ class Engine {
   }
   [[nodiscard]] std::uint64_t check_interval() const noexcept {
     return check_interval_;
+  }
+
+  // splitmix64 finalizer: cheap, well-mixed fold for the event digest.
+  // Public so the shard scheduler folds per-shard digests with the same
+  // mixer the per-event digest uses.
+  static constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
   }
 
  private:
@@ -279,14 +327,6 @@ class Engine {
     return heap_[0].t;
   }
 
-  // splitmix64 finalizer: cheap, well-mixed fold for the event digest.
-  static constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-  }
-
   void step() {
     // Owning the heap directly (vs. std::priority_queue) lets the next
     // event be moved out of storage legitimately — no const_cast.
@@ -301,6 +341,7 @@ class Engine {
     ++events_executed_;
     digest_ = mix64(digest_ ^ ev.t);
     digest_ = mix64(digest_ ^ ev.seq);
+    causal_digest_ += mix64(ev.t);
     // Execute in place: slot pages are address-stable (the page directory
     // may grow during fn(), the pages never move), so no relocating move of
     // the inline capture is needed per event.  The slot is recycled only
@@ -340,6 +381,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t digest_ = 0x243f6a8885a308d3ull;  // pi, arbitrary non-zero
+  std::uint64_t causal_digest_ = 0;
   std::uint64_t check_interval_ = 1024;
   std::uint64_t check_countdown_ = 1024;
   check::Registry checks_;

@@ -1,0 +1,251 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "check/invariant.hpp"
+
+namespace ulsocks::sim {
+
+ShardGroup::ShardGroup(std::size_t shards, Duration lookahead,
+                       std::uint64_t seed)
+    : lookahead_(lookahead) {
+  ULSOCKS_INVARIANT(shards >= 1, "ShardGroup needs at least one shard");
+  ULSOCKS_INVARIANT(lookahead >= 1,
+                    "zero lookahead admits same-instant cross-shard "
+                    "causality; epochs would never make progress");
+  engines_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    engines_.push_back(std::make_unique<Engine>(seed + i));
+  }
+  mail_.resize(shards * shards);
+  bounds_.assign(shards, kNoBound);
+  errors_.assign(shards, nullptr);
+  checks_.add("sim.shard.mailbox_conservation", [this] {
+    std::uint64_t posted = 0;
+    for (const Mailbox& b : mail_) posted += b.next_seq;
+    ULSOCKS_INVARIANT(
+        posted == delivered_,
+        check::msgf("cross-shard mailboxes leaked events: posted=%llu "
+                    "delivered=%llu",
+                    static_cast<unsigned long long>(posted),
+                    static_cast<unsigned long long>(delivered_)));
+  });
+}
+
+std::uint32_t ShardGroup::index_of(const Engine& eng) const {
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (engines_[i].get() == &eng) return static_cast<std::uint32_t>(i);
+  }
+  ULSOCKS_INVARIANT(false, "engine does not belong to this ShardGroup");
+  return 0;  // unreachable
+}
+
+void ShardGroup::post_remote(std::uint32_t src, std::uint32_t dst, Time t,
+                             EventFn fn) {
+  const std::size_t n = engines_.size();
+  ULSOCKS_INVARIANT(src < n && dst < n && src != dst,
+                    "post_remote: bad shard pair");
+  // The conservative guarantee everything rests on: a cross-shard effect
+  // can never land closer than the lookahead ahead of its source's clock.
+  ULSOCKS_INVARIANT(
+      t >= engines_[src]->now() + lookahead_,
+      check::msgf("cross-shard post violates lookahead: t=%llu < "
+                  "src_now=%llu + W=%llu",
+                  static_cast<unsigned long long>(t),
+                  static_cast<unsigned long long>(engines_[src]->now()),
+                  static_cast<unsigned long long>(lookahead_)));
+  Mailbox& b = box(src, dst);
+  b.entries.push_back(MailEntry{t, b.next_seq++, src, std::move(fn)});
+}
+
+bool ShardGroup::begin_epoch() {
+  // Bounded-lag window: every shard shares the bound G + W, where G is the
+  // GLOBAL minimum next-event time — including each shard's own clock.
+  //
+  // Why self must be included: it is tempting to give shard i the classic
+  // per-pair CMB bound min_{j!=i}(T_j) + W, which is one-hop safe — but in
+  // a barrier-synchronous scheme it breaks on multi-hop reflection.  If
+  // every peer of i is idle or far in the future, i runs far ahead; i's own
+  // posts then wake an idle hub shard (the switch) in a LATER epoch, and
+  // the hub's relayed frames land in i's past.  Per-pair bounds are only
+  // sound when channel clocks propagate transitively (null messages),
+  // which a barrier does not do.
+  //
+  // The shared window is sound by induction: every event executed this
+  // epoch has t in [G, G + W), so every cross-shard post carries
+  // t >= G + W, strictly beyond every shard's clock at the barrier.  And
+  // it makes progress: the shard owning G always executes at least one
+  // event, so epochs never deadlock.
+  const std::size_t n = engines_.size();
+  Time gmin = kNoBound;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::optional<Time> t = engines_[i]->next_event_time();
+    if (t && *t < gmin) gmin = *t;
+  }
+  if (gmin == kNoBound) return false;
+  if (n == 1) {
+    // No cross-shard causality exists; the single shard runs to drain.
+    bounds_[0] = kNoBound;
+    return true;
+  }
+  const Time bound = gmin + lookahead_;
+  for (std::size_t i = 0; i < n; ++i) bounds_[i] = bound;
+  return true;
+}
+
+void ShardGroup::run_shard(std::size_t i) noexcept {
+  try {
+    if (bounds_[i] == kNoBound) {
+      // Only a one-shard group (or an idle shard) gets here: run to drain.
+      engines_[i]->run();
+    } else {
+      engines_[i]->run_before(bounds_[i]);
+    }
+  } catch (...) {
+    errors_[i] = std::current_exception();
+  }
+}
+
+void ShardGroup::finish_epoch() {
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    if (errors_[i]) {
+      std::exception_ptr e = errors_[i];
+      errors_[i] = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+  deliver_mailboxes();
+  ++epochs_;
+  if (check_epoch_interval_ != 0 && epochs_ % check_epoch_interval_ == 0) {
+    checks_.run_all();
+  }
+}
+
+void ShardGroup::deliver_mailboxes() {
+  const std::size_t n = engines_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    scratch_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      Mailbox& b = box(static_cast<std::uint32_t>(src),
+                       static_cast<std::uint32_t>(dst));
+      for (MailEntry& e : b.entries) scratch_.push_back(std::move(e));
+      b.entries.clear();
+    }
+    if (scratch_.empty()) continue;
+    // (t, seq, src) is a strict total order — seq is unique per (src, dst)
+    // box — so the destination engine numbers these events identically no
+    // matter how the window's execution interleaved across threads.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [](const MailEntry& a, const MailEntry& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.seq != b.seq) return a.seq < b.seq;
+                return a.src < b.src;
+              });
+    for (MailEntry& e : scratch_) {
+      engines_[dst]->schedule_at(e.t, std::move(e.fn));
+      ++delivered_;
+    }
+    scratch_.clear();
+  }
+}
+
+void ShardGroup::run_serial() {
+  while (begin_epoch()) {
+    for (std::size_t i = 0; i < engines_.size(); ++i) run_shard(i);
+    finish_epoch();
+  }
+}
+
+void ShardGroup::run_parallel(unsigned resolved) {
+  // Persistent workers with a spin-then-yield epoch barrier: epochs are on
+  // the order of the lookahead (~1 us simulated, often far less host time),
+  // so per-epoch thread churn or futex round-trips would dominate.  Main
+  // acts as worker 0; shard i belongs to worker i % resolved, so a shard
+  // is stepped by the same thread every epoch.
+  const std::size_t n = engines_.size();
+  std::atomic<std::uint64_t> go{0};
+  std::atomic<unsigned> done{0};
+  std::atomic<bool> quit{false};
+  std::vector<std::thread> pool;
+  pool.reserve(resolved - 1);
+  for (unsigned w = 1; w < resolved; ++w) {
+    pool.emplace_back([this, w, resolved, n, &go, &done, &quit] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::uint32_t spins = 0;
+        while (go.load(std::memory_order_acquire) == seen &&
+               !quit.load(std::memory_order_acquire)) {
+          if ((++spins & 1023u) == 0) std::this_thread::yield();
+        }
+        if (quit.load(std::memory_order_acquire)) break;
+        seen = go.load(std::memory_order_acquire);
+        for (std::size_t i = w; i < n; i += resolved) run_shard(i);
+        done.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+  std::exception_ptr failure;
+  try {
+    while (begin_epoch()) {
+      done.store(0, std::memory_order_relaxed);
+      go.fetch_add(1, std::memory_order_release);
+      for (std::size_t i = 0; i < n; i += resolved) run_shard(i);
+      std::uint32_t spins = 0;
+      while (done.load(std::memory_order_acquire) != resolved - 1) {
+        if ((++spins & 1023u) == 0) std::this_thread::yield();
+      }
+      finish_epoch();
+    }
+  } catch (...) {
+    failure = std::current_exception();
+  }
+  quit.store(true, std::memory_order_release);
+  for (std::thread& th : pool) th.join();
+  if (failure) std::rethrow_exception(failure);
+}
+
+void ShardGroup::run(unsigned threads) {
+  unsigned resolved =
+      threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (resolved == 0) resolved = 1;
+  resolved = static_cast<unsigned>(
+      std::min<std::size_t>(resolved, engines_.size()));
+  if (resolved <= 1) {
+    run_serial();
+  } else {
+    run_parallel(resolved);
+  }
+  // Quiesced: every queue drained, every mailbox delivered.
+  checks_.run_all();
+}
+
+std::uint64_t ShardGroup::digest() const {
+  std::uint64_t d = engines_[0]->digest();
+  for (std::size_t i = 1; i < engines_.size(); ++i) {
+    d = Engine::mix64(d ^ engines_[i]->digest());
+  }
+  return d;
+}
+
+std::uint64_t ShardGroup::causal_digest() const {
+  std::uint64_t d = 0;
+  for (const auto& e : engines_) d += e->causal_digest();
+  return d;
+}
+
+std::uint64_t ShardGroup::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->events_executed();
+  return n;
+}
+
+Time ShardGroup::now() const {
+  Time t = 0;
+  for (const auto& e : engines_) t = std::max(t, e->now());
+  return t;
+}
+
+}  // namespace ulsocks::sim

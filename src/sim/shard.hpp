@@ -1,0 +1,148 @@
+// Conservative-parallel sharded simulation (CMB-style, link-latency
+// lookahead).
+//
+// A ShardGroup owns N independent Engines and runs them in bounded epochs.
+// The epoch bound for shard i is min_{j != i}(T_j) + W, where T_j is shard
+// j's next event time and W is the group lookahead — the minimum simulated
+// latency of any cross-shard interaction (for an Ethernet fabric: the
+// serialization time of a minimum wire frame plus propagation, see
+// net::shard_lookahead()).  Any cross-shard effect produced by shard j is
+// timestamped >= T_j + W >= bound_i, so every event below the bound is
+// causally independent across shards and the shards can execute their
+// windows on separate threads without changing results.
+//
+// Cross-shard events travel through per-(src, dst) mailboxes written only
+// by the source shard's thread during a window and drained only at the
+// single-threaded epoch barrier, sorted by (t, seq, src_shard).  The seq
+// is a per-mailbox push ordinal, so the drain order — and therefore the
+// destination engine's sequence numbering — is a pure function of each
+// source shard's own deterministic execution, never of thread timing:
+// a parallel run is byte-identical to stepping the shards serially.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "check/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ulsocks::sim {
+
+class ShardGroup {
+ public:
+  /// Sentinel epoch bound meaning "run this shard to drain".
+  static constexpr Time kNoBound = ~Time{0};
+
+  /// `lookahead` must be a lower bound on the simulated latency of every
+  /// cross-shard interaction; post_remote() enforces it per post.  Shard i
+  /// is seeded `seed + i`, so shard 0 of a one-shard group is byte-identical
+  /// to a plain `Engine(seed)`.
+  ShardGroup(std::size_t shards, Duration lookahead, std::uint64_t seed = 1);
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return engines_.size(); }
+  [[nodiscard]] Duration lookahead() const noexcept { return lookahead_; }
+  [[nodiscard]] Engine& shard(std::size_t i) { return *engines_[i]; }
+
+  /// Index of `eng` within this group.  Pre: the engine belongs to it.
+  [[nodiscard]] std::uint32_t index_of(const Engine& eng) const;
+
+  /// Post `fn` to run at absolute time `t` on shard `dst`.  Must be called
+  /// from shard `src`'s thread during its window (or from the barrier
+  /// thread); `t` must honour the lookahead relative to src's clock.
+  /// Entries are delivered at the next epoch barrier in (t, seq, src)
+  /// order.
+  void post_remote(std::uint32_t src, std::uint32_t dst, Time t, EventFn fn);
+
+  /// Run all shards to completion.  `threads == 0` resolves to the
+  /// hardware concurrency; anything <= 1 steps the shards serially in
+  /// shard order — the determinism reference the parallel path must match
+  /// byte-for-byte.  Rethrows the first (by shard index) failure.
+  void run(unsigned threads = 0);
+
+  /// Per-shard ordered digests folded in fixed shard order.  For a
+  /// one-shard group this is exactly shard 0's digest.  Identical between
+  /// parallel and serial-stepped runs at the same shard count.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Wrapping sum of the shards' order-insensitive digests — invariant
+  /// across shard counts for the same workload (see Engine::causal_digest).
+  [[nodiscard]] std::uint64_t causal_digest() const;
+
+  /// Total events executed across all shards.
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  /// Latest shard clock (the simulated end time of the run).
+  [[nodiscard]] Time now() const;
+
+  /// Epoch barriers crossed so far.
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+
+  /// Cross-shard events delivered so far (equals total posted when
+  /// quiesced — enforced by the built-in mailbox-conservation checker).
+  [[nodiscard]] std::uint64_t remote_delivered() const noexcept {
+    return delivered_;
+  }
+
+  /// Group-level checkers, swept on the barrier thread while all shards
+  /// are quiesced — the only safe place to read state across shards.
+  /// Cross-shard conservation laws register here; per-shard protocol
+  /// checkers stay on their own engine's registry.
+  [[nodiscard]] check::Registry& checks() noexcept { return checks_; }
+
+  /// Barriers between group checker sweeps (default 256; 0 disables all
+  /// but the final quiesced sweep).
+  void set_check_epoch_interval(std::uint64_t every_n_epochs) noexcept {
+    check_epoch_interval_ = every_n_epochs;
+  }
+
+ private:
+  struct MailEntry {
+    Time t;
+    std::uint64_t seq;  // push ordinal within the (src, dst) mailbox
+    std::uint32_t src;
+    EventFn fn;
+  };
+  // One mailbox per (src, dst) pair, cache-line aligned: during a window
+  // each is written by exactly one thread (src's), and adjacent mailboxes
+  // belong to different writers.
+  struct alignas(64) Mailbox {
+    std::vector<MailEntry> entries;
+    std::uint64_t next_seq = 0;  // total ever posted through this box
+  };
+
+  [[nodiscard]] Mailbox& box(std::uint32_t src, std::uint32_t dst) {
+    return mail_[static_cast<std::size_t>(src) * engines_.size() + dst];
+  }
+
+  /// Compute every shard's epoch bound from the current queues.  Returns
+  /// false when all queues are drained (mailboxes are always empty here —
+  /// they are drained right after each window).
+  bool begin_epoch();
+  /// Execute shard i's window up to bounds_[i]; failures land in
+  /// errors_[i] (never thrown across a worker thread boundary).
+  void run_shard(std::size_t i) noexcept;
+  /// Rethrow window failures, drain mailboxes, sweep group checkers.
+  void finish_epoch();
+  void deliver_mailboxes();
+  void run_serial();
+  void run_parallel(unsigned resolved);
+
+  Duration lookahead_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Mailbox> mail_;  // mail_[src * size() + dst]
+  std::vector<Time> bounds_;   // per-shard epoch bound (kNoBound = drain)
+  std::vector<std::exception_ptr> errors_;
+  std::vector<MailEntry> scratch_;  // barrier-only delivery sort buffer
+  check::Registry checks_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t check_epoch_interval_ = 256;
+};
+
+}  // namespace ulsocks::sim

@@ -14,8 +14,11 @@
 
 #include "apps/cluster.hpp"
 #include "net/frame.hpp"
+#include "net/link.hpp"
 #include "net/payload_slice.hpp"
+#include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "sim/shard.hpp"
 #include "sockets/config.hpp"
 
 namespace ulsocks {
@@ -378,6 +381,247 @@ struct Spawner {
     }
   }
 };
+
+// ---------------------------------------------------------------------------
+// Sharded engine (sim/shard.hpp): a ShardGroup partitions the hosts across
+// engines synchronized by link-latency lookahead.  The contract, from
+// weakest to strongest coupling:
+//   - a one-shard group is byte-identical to a plain Engine (same digest);
+//   - for a fixed shard count, parallel execution is byte-identical to
+//     stepping the same epochs serially (same per-shard digests, so the
+//     same folded group digest);
+//   - across shard counts, the simulated outcome is invariant: the same
+//     events fire at the same times (causal digest, event count, end time)
+//     and the application sees the same bytes.  The seq-folded digest is
+//     intentionally partition-dependent (each engine numbers its own
+//     events), which is why causal_digest() exists.
+// These workloads draw randomness from per-actor generators and seeded
+// drop policies — never Engine::rng(), whose draw interleaving would
+// change with the partition.
+// ---------------------------------------------------------------------------
+
+struct ShardSignature {
+  std::uint64_t group_digest;
+  std::uint64_t causal_digest;
+  std::uint64_t events;
+  sim::Time end_time;
+  std::uint64_t bytes_echoed;
+  friend bool operator==(const ShardSignature&, const ShardSignature&) =
+      default;
+};
+
+/// The partition-invariant part of a signature (drops the seq-folded
+/// digest, which legitimately differs across shard counts).
+struct CausalSignature {
+  std::uint64_t causal_digest;
+  std::uint64_t events;
+  sim::Time end_time;
+  std::uint64_t bytes_echoed;
+  friend bool operator==(const CausalSignature&, const CausalSignature&) =
+      default;
+};
+
+CausalSignature causal_part(const ShardSignature& s) {
+  return {s.causal_digest, s.events, s.end_time, s.bytes_echoed};
+}
+
+struct ShardEchoOptions {
+  sockets::SubstrateConfig cfg{};
+  bool use_tcp = false;
+  double loss = 0.0;
+  int rounds = 20;
+  std::uint64_t seed = 42;
+};
+
+Task<void> shard_echo_server(os::SocketApi& api) {
+  int ls = co_await api.socket();
+  co_await api.bind(ls, SockAddr{1, 7100});
+  co_await api.listen(ls, 4);
+  int sd = co_await api.accept(ls, nullptr);
+  std::vector<std::uint8_t> buf(16384);
+  for (;;) {
+    std::size_t n = co_await api.read(sd, buf);
+    if (n == 0) break;
+    co_await api.write_all(sd, std::span(buf).first(n));
+  }
+  co_await api.close(sd);
+  co_await api.close(ls);
+}
+
+Task<void> shard_echo_client(os::SocketApi& api, std::uint64_t seed,
+                             int rounds, std::uint64_t* echoed) {
+  Lcg rng{seed};
+  int sd = co_await api.socket();
+  co_await api.connect(sd, SockAddr{1, 7100});
+  std::vector<std::uint8_t> out(16384);
+  std::vector<std::uint8_t> in(16384);
+  for (int i = 0; i < rounds; ++i) {
+    const std::size_t n = 1 + rng.next() % 8192;
+    for (std::size_t b = 0; b < n; ++b) {
+      out[b] = static_cast<std::uint8_t>(rng.next() & 0xff);
+    }
+    co_await api.write_all(sd, std::span(out).first(n));
+    co_await api.read_exact(sd, std::span(in).first(n));
+    EXPECT_TRUE(std::equal(in.begin(), in.begin() + n, out.begin()))
+        << "echoed bytes corrupted at iteration " << i;
+    *echoed += n;
+  }
+  co_await api.close(sd);
+}
+
+os::SocketApi& shard_echo_api(Cluster& cl, std::size_t node, bool use_tcp) {
+  return use_tcp ? static_cast<os::SocketApi&>(cl.node(node).tcp)
+                 : static_cast<os::SocketApi&>(cl.node(node).socks);
+}
+
+void shard_echo_losses(Cluster& cl, const ShardEchoOptions& opt) {
+  if (opt.loss <= 0) return;
+  // Policies seeded per link, not fed from any engine's RNG: frames cross a
+  // given link side in the same order under every partition, so the drop
+  // decisions replay identically.
+  for (std::size_t i = 0; i < 2; ++i) {
+    cl.network().host_link(i).set_drop_policy(
+        net::StarNetwork::kHostSide,
+        net::random_drop_policy(opt.seed * 1000003 + i, opt.loss));
+  }
+}
+
+ShardSignature run_plain_echo(const ShardEchoOptions& opt = {}) {
+  Engine eng(opt.seed);
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, opt.cfg);
+  shard_echo_losses(cl, opt);
+  std::uint64_t echoed = 0;
+  eng.spawn(shard_echo_server(shard_echo_api(cl, 1, opt.use_tcp)));
+  eng.spawn(shard_echo_client(shard_echo_api(cl, 0, opt.use_tcp),
+                              opt.seed ^ 0xabcdefull, opt.rounds, &echoed));
+  eng.run();
+  return {eng.digest(), eng.causal_digest(), eng.events_executed(), eng.now(),
+          echoed};
+}
+
+ShardSignature run_sharded_echo(std::size_t shards, unsigned threads,
+                                const ShardEchoOptions& opt = {}) {
+  const sim::CostModel model = sim::calibrated_cost_model();
+  sim::ShardGroup group(shards, net::shard_lookahead(model.wire), opt.seed);
+  Cluster cl(group, model, 2, opt.cfg);
+  shard_echo_losses(cl, opt);
+  std::uint64_t echoed = 0;
+  cl.node_engine(1).spawn(shard_echo_server(shard_echo_api(cl, 1, opt.use_tcp)));
+  cl.node_engine(0).spawn(shard_echo_client(
+      shard_echo_api(cl, 0, opt.use_tcp), opt.seed ^ 0xabcdefull, opt.rounds,
+      &echoed));
+  group.run(threads);
+  return {group.digest(), group.causal_digest(), group.events_executed(),
+          group.now(), echoed};
+}
+
+// A one-shard group must be indistinguishable from not sharding at all:
+// same engine seed, same event stream, same seq-folded digest — on every
+// named paper preset.
+TEST(Sharding, GroupOfOneIsByteIdenticalToPlainEngine) {
+  for (const sockets::Preset& p : sockets::presets()) {
+    ShardEchoOptions opt;
+    opt.cfg = p.cfg;
+    ShardSignature plain = run_plain_echo(opt);
+    ShardSignature one = run_sharded_echo(1, 1, opt);
+    EXPECT_EQ(one, plain) << "preset " << p.name << ": group-of-one digest "
+                          << one.group_digest << " vs plain "
+                          << plain.group_digest;
+    EXPECT_GT(plain.bytes_echoed, 0u) << "preset " << p.name;
+  }
+}
+
+// Across shard counts the partition changes but the simulation must not:
+// same events at the same times, same bytes through the application — on
+// every named preset.
+TEST(Sharding, OutcomeInvariantAcrossShardCountsOnEveryPreset) {
+  for (const sockets::Preset& p : sockets::presets()) {
+    ShardEchoOptions opt;
+    opt.cfg = p.cfg;
+    CausalSignature one = causal_part(run_sharded_echo(1, 1, opt));
+    CausalSignature two = causal_part(run_sharded_echo(2, 1, opt));
+    CausalSignature four = causal_part(run_sharded_echo(4, 1, opt));
+    EXPECT_EQ(two, one) << "preset " << p.name << " diverged at 2 shards";
+    EXPECT_EQ(four, one) << "preset " << p.name << " diverged at 4 shards";
+    EXPECT_GT(one.bytes_echoed, 0u) << "preset " << p.name;
+  }
+}
+
+// For a fixed partition, running epochs on a thread pool must be
+// byte-identical to stepping them serially — per-shard digests and all.
+// This is the test the ThreadSanitizer stage in scripts/check.sh runs with
+// real concurrency.
+TEST(Sharding, ParallelIsByteIdenticalToSerialStepping) {
+  for (std::size_t shards : {2ul, 4ul}) {
+    ShardSignature serial = run_sharded_echo(shards, 1);
+    ShardSignature parallel = run_sharded_echo(shards, 4);
+    EXPECT_EQ(parallel, serial)
+        << shards << " shards: parallel digest " << parallel.group_digest
+        << " vs serial " << serial.group_digest;
+  }
+}
+
+// Loss, tiny credits and tiny staging buffers drive retransmits, credit
+// stalls and unexpected-queue traffic across the shard boundary; the
+// outcome must still be partition-invariant, and parallel must still match
+// serial stepping byte-for-byte.
+TEST(Sharding, LossyStressOutcomeInvariantAcrossShardCounts) {
+  ShardEchoOptions opt;
+  opt.cfg = sockets::preset_ds_da_uq();
+  opt.cfg.credits = 2;
+  opt.cfg.buffer_bytes = 2048;
+  opt.loss = 0.01;
+  CausalSignature one = causal_part(run_sharded_echo(1, 1, opt));
+  CausalSignature two = causal_part(run_sharded_echo(2, 1, opt));
+  CausalSignature four = causal_part(run_sharded_echo(4, 1, opt));
+  EXPECT_EQ(two, one) << "lossy stress diverged at 2 shards";
+  EXPECT_EQ(four, one) << "lossy stress diverged at 4 shards";
+  EXPECT_EQ(run_sharded_echo(4, 4, opt), run_sharded_echo(4, 1, opt))
+      << "lossy stress: parallel diverged from serial stepping";
+}
+
+// Kernel TCP's loss recovery (retransmit timers are the long-dated far-heap
+// events) must behave identically when the two endpoints live on different
+// shards.
+TEST(Sharding, TcpOverLossOutcomeInvariantAcrossShardCounts) {
+  ShardEchoOptions opt;
+  opt.use_tcp = true;
+  opt.loss = 0.005;
+  CausalSignature one = causal_part(run_sharded_echo(1, 1, opt));
+  CausalSignature two = causal_part(run_sharded_echo(2, 1, opt));
+  CausalSignature four = causal_part(run_sharded_echo(4, 1, opt));
+  EXPECT_EQ(two, one) << "tcp-over-loss diverged at 2 shards";
+  EXPECT_EQ(four, one) << "tcp-over-loss diverged at 4 shards";
+}
+
+// Cross-shard frames arriving within one epoch window must drain in strict
+// (t, seq, src_shard) order at the barrier, regardless of the order the
+// mailboxes were filled: seq orders same-time posts from one source, the
+// source shard index breaks cross-source ties.
+TEST(Sharding, MailboxDrainsInTimeSeqSrcOrder) {
+  sim::ShardGroup group(3, /*lookahead=*/100);
+  std::vector<int> order;
+  auto post = [&](std::uint32_t src, sim::Time t, int id) {
+    group.post_remote(src, 0, t, [&order, id] { order.push_back(id); });
+  };
+  // Both source shards post at t=0, inside one window, timestamps
+  // deliberately scrambled relative to push order.
+  group.shard(1).schedule_at(0, [&] {
+    post(1, 150, 0);  // (t=150, seq=0, src=1)
+    post(1, 120, 1);  // (t=120, seq=1, src=1)
+  });
+  group.shard(2).schedule_at(0, [&] {
+    post(2, 150, 2);  // (t=150, seq=0, src=2)
+    post(2, 120, 3);  // (t=120, seq=1, src=2)
+    post(2, 150, 4);  // (t=150, seq=2, src=2)
+  });
+  group.run(1);
+  // t=120 first (seq ties, src 1 < 2); then t=150 by (seq, src): seq 0 of
+  // src 1, seq 0 of src 2, seq 2 of src 2.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2, 4}));
+  EXPECT_EQ(group.remote_delivered(), 5u);
+  EXPECT_GE(group.epochs(), 2u);
+}
 
 TEST(QueueOrder, RandomInterleavingsMatchNaiveReference) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
