@@ -1,193 +1,42 @@
 #!/usr/bin/env python3
-"""Coroutine-capture lint for ulsocks.
+"""DEPRECATED shim — the coroutine-capture lint now lives in ulsan.
 
-Flags the use-after-free shape this architecture is most exposed to:
+The original single-purpose linter was absorbed into the ulsan rule
+framework as ``ulsan-coro-schedule-capture`` and
+``ulsan-coro-iife-capture`` (plus the new ``ulsan-coro-ref-across-await``,
+which this shim does NOT run, to keep legacy behaviour).  Invoke the real
+tool instead:
 
-1. A lambda with by-reference captures (``[&]``, ``[&x]``, ``[this, &x]``)
-   passed to ``schedule_at(...)`` / ``schedule_after(...)``.  The callback
-   runs from the event queue long after the scheduling frame has returned
-   — a reference capture of a stack variable dangles by the time it fires.
-   In a coroutine, *every* local lives in the coroutine frame, which may
-   already be destroyed when the event fires.
+    python3 -m ulsan src            # all rules, baseline-gated
+    python3 -m ulsan --explain coro-schedule-capture
 
-2. An immediately-invoked lambda coroutine (body contains ``co_await`` /
-   ``co_return`` / ``co_yield``) with any captures.  The lambda object —
-   which owns the captures — is a temporary destroyed at the end of the
-   full expression, while the coroutine frame it spawned lives on; every
-   capture access after the first suspension point is a use-after-free.
-
-Suppress a finding with ``// NOLINT(coro-capture)`` on the same line as the
-lambda introducer.
-
-Usage: lint_coro_captures.py [paths...]   (default: src)
-Exits non-zero if any finding is reported.
+This wrapper keeps old invocations (and the legacy
+``// NOLINT(coro-capture)`` spelling) working while callers migrate; it
+will be removed once nothing runs it.
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-SCHEDULE_CALL = re.compile(r"\b(schedule_at|schedule_after)\s*\(")
-LAMBDA_INTRO = re.compile(r"\[([^\[\]]*)\]\s*(?:\([^)]*\)\s*)?[^;{]*\{")
-CORO_KEYWORD = re.compile(r"\bco_(await|return|yield)\b")
-SUPPRESS = "NOLINT(coro-capture)"
+SCRIPTS_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(SCRIPTS_DIR))
+
+from ulsan.cli import main as ulsan_main  # noqa: E402
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comments, string and char literals, preserving newlines
-    and byte offsets so reported line numbers stay accurate.  Lines whose
-    comment carries the NOLINT marker keep that marker visible."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        if c == "/" and i + 1 < n and text[i + 1] == "/":
-            j = text.find("\n", i)
-            j = n if j == -1 else j
-            chunk = text[i:j]
-            out.append(SUPPRESS if SUPPRESS in chunk else "")
-            out.append(" " * (j - i - len(out[-1])))
-            i = j
-        elif c == "/" and i + 1 < n and text[i + 1] == "*":
-            j = text.find("*/", i + 2)
-            j = n if j == -1 else j + 2
-            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
-            i = j
-        elif c == "'" and i > 0 and (text[i - 1].isalnum()
-                                     or text[i - 1] == "_"):
-            out.append(c)  # digit separator (65'535), not a char literal
-            i += 1
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            j = min(j + 1, n)
-            inner = "".join(ch if ch == "\n" else " " for ch in
-                            text[i + 1:j - 1])
-            out.append(quote + inner + quote if j - i >= 2 else text[i:j])
-            i = j
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-def matching_brace(text: str, open_idx: int) -> int:
-    """Index just past the brace matching text[open_idx] == '{'."""
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "{":
-            depth += 1
-        elif text[i] == "}":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
-def matching_paren(text: str, open_idx: int) -> int:
-    depth = 0
-    for i in range(open_idx, len(text)):
-        if text[i] == "(":
-            depth += 1
-        elif text[i] == ")":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return len(text)
-
-
-def has_ref_capture(capture_list: str) -> bool:
-    for item in capture_list.split(","):
-        item = item.strip()
-        if item == "&" or (item.startswith("&") and not item.startswith("&&")):
-            return True
-    return False
-
-
-def line_of(text: str, idx: int) -> int:
-    return text.count("\n", 0, idx) + 1
-
-
-def line_text(original: str, lineno: int) -> str:
-    return original.splitlines()[lineno - 1].strip()
-
-
-def lint_file(path: Path) -> list[str]:
-    original = path.read_text(errors="replace")
-    text = strip_comments_and_strings(original)
-    findings: list[str] = []
-
-    # Rule 1: ref-capture lambdas inside schedule_at/schedule_after calls.
-    for call in SCHEDULE_CALL.finditer(text):
-        open_paren = call.end() - 1
-        close = matching_paren(text, open_paren)
-        arg_text = text[open_paren:close]
-        for lam in LAMBDA_INTRO.finditer(arg_text):
-            lineno = line_of(text, open_paren + lam.start())
-            if SUPPRESS in text.splitlines()[lineno - 1]:
-                continue
-            if has_ref_capture(lam.group(1)):
-                findings.append(
-                    f"{path}:{lineno}: lambda with by-reference capture "
-                    f"passed to {call.group(1)}() — the callback outlives "
-                    f"the scheduling frame (use-after-free across "
-                    f"suspension points)\n    {line_text(original, lineno)}")
-
-    # Rule 2: immediately-invoked lambda coroutines with captures.
-    for lam in LAMBDA_INTRO.finditer(text):
-        captures = lam.group(1).strip()
-        if not captures:
-            continue
-        body_open = lam.end() - 1
-        body_close = matching_brace(text, body_open)
-        body = text[body_open:body_close]
-        if not CORO_KEYWORD.search(body):
-            continue
-        # Immediately invoked: '(' directly after the closing brace.
-        after = text[body_close:body_close + 16].lstrip()
-        if not after.startswith("("):
-            continue
-        lineno = line_of(text, lam.start())
-        if SUPPRESS in text.splitlines()[lineno - 1]:
-            continue
-        findings.append(
-            f"{path}:{lineno}: immediately-invoked lambda coroutine with "
-            f"captures [{captures}] — the closure object dies at the end "
-            f"of the expression; captures dangle after the first "
-            f"suspension point\n    {line_text(original, lineno)}")
-
-    return findings
-
-
-def main(argv: list[str]) -> int:
-    roots = [Path(p) for p in (argv[1:] or ["src"])]
-    files: list[Path] = []
-    for root in roots:
-        if root.is_file():
-            files.append(root)
-        elif root.is_dir():
-            files.extend(sorted(root.rglob("*.cpp")))
-            files.extend(sorted(root.rglob("*.hpp")))
-        else:
-            print(f"lint_coro_captures: error: no such path: {root}",
-                  file=sys.stderr)
-            return 2
-    findings: list[str] = []
-    for f in files:
-        findings.extend(lint_file(f))
-    for finding in findings:
-        print(finding)
-    if findings:
-        print(f"\nlint_coro_captures: {len(findings)} finding(s) in "
-              f"{len(files)} files")
-        return 1
-    print(f"lint_coro_captures: clean ({len(files)} files)")
-    return 0
+def main(argv):
+    print("lint_coro_captures.py is deprecated: use 'python3 -m ulsan' "
+          "(rules ulsan-coro-schedule-capture, ulsan-coro-iife-capture); "
+          "migrate NOLINT(coro-capture) to NOLINT(ulsan-coro-capture)",
+          file=sys.stderr)
+    paths = argv or ["src"]
+    return ulsan_main([
+        *paths,
+        "--rules", "coro-schedule-capture,coro-iife-capture",
+        "--allow-legacy-coro-alias",
+        "--no-baseline",
+    ])
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

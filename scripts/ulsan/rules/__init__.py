@@ -1,0 +1,7 @@
+"""Importing this package registers every rule with the framework."""
+
+from . import affinity  # noqa: F401
+from . import coro  # noqa: F401
+from . import determinism  # noqa: F401
+from . import layering  # noqa: F401
+from . import wire  # noqa: F401

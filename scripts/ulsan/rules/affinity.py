@@ -1,0 +1,106 @@
+"""ulsan-shard-affinity: pool and engine handles must not cross shards.
+
+Frame pools, slice pools, slice refcounts and engines are single-threaded
+by contract (DESIGN.md §11): every shard owns its own, and the hot path is
+lock-free *because* nothing is shared.  The one sanctioned crossing is
+``net::Link``'s rehoming transmit path, which deep-copies the frame out of
+its source shard's allocator world (``clone_for_shard_transfer``) before
+handing it to ``ShardGroup::post_remote``.
+
+Two shapes are flagged:
+
+1. The cross-shard primitives — ``post_remote(`` and
+   ``clone_for_shard_transfer(`` — anywhere outside the rehoming path
+   (``src/net/link.cpp``) and the shard runtime itself
+   (``src/sim/shard.hpp``/``.cpp``).  New cross-shard edges must be
+   designed, not sprinkled.
+
+2. A lambda handed to ``post_remote`` that smuggles shard-local state:
+   any by-reference or ``this`` capture (the callback runs on another
+   shard's thread), or a capture whose name looks like a pool or engine
+   handle.  This check applies *inside* the sanctioned files too — the
+   rehoming path must stay clean (value captures of the destination sink
+   and the already-cloned frame only).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..framework import Finding, RunContext, rule
+from ..source import (SourceFile, capture_items, has_ref_capture,
+                      matching_paren, LAMBDA_INTRO)
+
+ALLOWED_SUFFIXES = ("src/net/link.cpp", "src/sim/shard.hpp",
+                    "src/sim/shard.cpp")
+POST_REMOTE = re.compile(r"\bpost_remote\s*\(")
+CLONE = re.compile(r"\bclone_for_shard_transfer\s*\(")
+HANDLE_NAME = re.compile(r"(?:^|_)(?:pool|eng|engine)s?_?$|pool_?$",
+                         re.IGNORECASE)
+
+
+def _finding(sf: SourceFile, idx: int, message: str) -> Finding:
+    lineno = sf.line_of(idx)
+    return Finding(rule="shard-affinity", path=sf.display, line=lineno,
+                   message=message, excerpt=sf.line_text(lineno))
+
+
+def _smuggled(capture_list: str) -> str | None:
+    for item in capture_items(capture_list):
+        if item == "this":
+            return "this"
+        name = item.lstrip("&").strip()
+        if "=" in name:
+            name = name.split("=", 1)[0].strip()
+        if HANDLE_NAME.search(name):
+            return item
+    return None
+
+
+@rule(
+    "shard-affinity",
+    "pool/engine handles or cross-shard primitives outside the sanctioned "
+    "rehoming path",
+    __doc__,
+)
+def check(sf: SourceFile, ctx: RunContext) -> list[Finding]:
+    text = sf.text
+    findings: list[Finding] = []
+    sanctioned = any(sf.display.endswith(s) for s in ALLOWED_SUFFIXES)
+
+    if not sanctioned:
+        for m in POST_REMOTE.finditer(text):
+            findings.append(_finding(
+                sf, m.start(),
+                "post_remote() outside net::Link's rehoming transmit path "
+                "— cross-shard edges are designed in src/net/link.cpp, "
+                "nowhere else"))
+        for m in CLONE.finditer(text):
+            findings.append(_finding(
+                sf, m.start(),
+                "clone_for_shard_transfer() outside the rehoming path — "
+                "shard-crossing frames are cloned exactly once, in "
+                "net::Link::transmit"))
+
+    # Capture hygiene on every post_remote callback, sanctioned or not.
+    for call in POST_REMOTE.finditer(text):
+        open_paren = call.end() - 1
+        close = matching_paren(text, open_paren)
+        for lam in LAMBDA_INTRO.finditer(text, open_paren, close):
+            caps = lam.group(1)
+            if has_ref_capture(caps):
+                findings.append(_finding(
+                    sf, lam.start(),
+                    "by-reference capture in a post_remote callback — the "
+                    "callback runs on another shard's thread; captured "
+                    "referents belong to the source shard"))
+                continue
+            bad = _smuggled(caps)
+            if bad is not None:
+                findings.append(_finding(
+                    sf, lam.start(),
+                    f"capture '{bad}' in a post_remote callback smuggles a "
+                    f"shard-local handle across the engine boundary — "
+                    f"pools and engines are single-threaded by contract "
+                    f"(DESIGN.md §11)"))
+    return findings

@@ -1,0 +1,168 @@
+"""ulsan-determinism: code shapes whose behaviour depends on host state.
+
+The repo's crown-jewel property is byte-identical digests across shard
+counts, pool modes and slicing modes (DESIGN.md §§9-11).  Every
+determinism bug shipped so far was a statically visible shape — PR 3's
+pin cache keyed host allocator addresses into simulated timing.  Three
+patterns, one rule:
+
+1. **Unordered iteration.**  Iterating an ``std::unordered_map``/``set``
+   visits elements in hash-table order, which depends on insertion
+   history, rehash points and (for pointer keys) host addresses.  Any
+   iteration that feeds scheduled events, digests or wire encodes is a
+   nondeterminism bug; iterations that are provably order-insensitive
+   (e.g. pure invariant sweeps) carry a NOLINT with the reason.
+
+2. **Pointer keys in ordered containers.**  ``std::map``/``set`` ordered
+   by raw pointer value sort by host heap addresses — iteration order
+   changes run to run.
+
+3. **Ambient entropy.**  ``rand()``, ``std::random_device``, wall-clock
+   reads and environment lookups inject host state.  All simulation
+   randomness must come from the seeded engines in ``sim/random.hpp``
+   (the one exempt file).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..framework import Finding, RunContext, rule
+from ..source import SourceFile, matching_angle, matching_paren
+
+UNORDERED_DECL = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*(<)")
+ORDERED_DECL = re.compile(r"\bstd\s*::\s*(?:map|set|multimap|multiset)\s*(<)")
+VAR_AFTER_TYPE = re.compile(r"\s*[&*]*\s*([A-Za-z_]\w*)\s*(?=[;={(,)]|$)")
+FOR_KW = re.compile(r"\bfor\s*\(")
+IDENT_TAIL = re.compile(r"([A-Za-z_]\w*)\s*$")
+BEGIN_CALL = re.compile(r"=\s*(?:(?:this\s*->\s*)?[\w.>-]*?)"
+                        r"([A-Za-z_]\w*)\s*\.\s*c?begin\s*\(")
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"\bs?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)"
+                r"\s*::\s*now\b"), "wall-clock read"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"), "time()"),
+    (re.compile(r"\bgetenv\s*\("), "environment lookup"),
+]
+
+ENTROPY_EXEMPT_SUFFIX = "sim/random.hpp"
+
+
+def unordered_vars(text: str) -> set[str]:
+    """Names declared (variable, member or parameter) with an unordered
+    container type in ``text``."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL.finditer(text):
+        close = matching_angle(text, m.end() - 1)
+        vm = VAR_AFTER_TYPE.match(text, close)
+        if vm:
+            names.add(vm.group(1))
+    return names
+
+
+def _top_level_colon(header: str) -> int:
+    """Offset of the range-for ':' in a for-header, or -1."""
+    depth = 0
+    i = 0
+    while i < len(header):
+        c = header[i]
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(header) and header[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and header[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+@rule(
+    "determinism",
+    "host-state-dependent shapes: unordered iteration, pointer-ordered "
+    "containers, ambient entropy",
+    __doc__,
+)
+def check(sf: SourceFile, ctx: RunContext) -> list[Finding]:
+    text = sf.text
+    findings: list[Finding] = []
+
+    # Declarations may live in the sibling header (members declared in the
+    # .hpp, iterated in the .cpp).
+    names = unordered_vars(text)
+    sibling = ctx.sibling_header(sf)
+    if sibling is not None:
+        names |= unordered_vars(sibling.text)
+
+    def flag(idx: int, message: str) -> None:
+        lineno = sf.line_of(idx)
+        findings.append(Finding(
+            rule="determinism", path=sf.display, line=lineno,
+            message=message, excerpt=sf.line_text(lineno)))
+
+    # 1a. Range-for over a known unordered container.
+    for fm in FOR_KW.finditer(text):
+        open_paren = fm.end() - 1
+        close = matching_paren(text, open_paren)
+        header = text[open_paren + 1:close - 1]
+        colon = _top_level_colon(header)
+        if colon < 0:
+            continue
+        range_expr = header[colon + 1:].strip()
+        tail = IDENT_TAIL.search(range_expr)
+        if tail and tail.group(1) in names:
+            flag(fm.start(),
+                 f"iteration over unordered container '{tail.group(1)}' — "
+                 f"hash-table order is host-state-dependent; use an ordered "
+                 f"container or justify order-insensitivity with a NOLINT")
+
+    # 1b. Explicit iterator loops (auto it = c.begin(); ...).
+    for bm in BEGIN_CALL.finditer(text):
+        if bm.group(1) in names:
+            flag(bm.start(),
+                 f"iterator walk over unordered container "
+                 f"'{bm.group(1)}' — hash-table order is "
+                 f"host-state-dependent")
+
+    # 2. Ordered containers keyed by raw pointers.
+    for m in ORDERED_DECL.finditer(text):
+        close = matching_angle(text, m.end() - 1)
+        args = text[m.end():close - 1]
+        # First top-level template argument.
+        depth = 0
+        first_end = len(args)
+        for i, c in enumerate(args):
+            if c in "(<[":
+                depth += 1
+            elif c in ")>]":
+                depth -= 1
+            elif c == "," and depth == 0:
+                first_end = i
+                break
+        key = args[:first_end].strip()
+        if key.endswith("*"):
+            flag(m.start(),
+                 f"ordered container keyed by raw pointer ({key}) — "
+                 f"iteration order is host heap-address order, different "
+                 f"every run")
+
+    # 3. Ambient entropy.
+    if not sf.display.endswith(ENTROPY_EXEMPT_SUFFIX):
+        for pat, what in ENTROPY_PATTERNS:
+            for m in pat.finditer(text):
+                flag(m.start(),
+                     f"{what} injects host state into the simulation — "
+                     f"draw from the seeded engines in sim/random.hpp "
+                     f"instead")
+
+    return findings

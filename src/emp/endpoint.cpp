@@ -91,7 +91,9 @@ void EmpEndpoint::check_invariants() const {
   // Reliability: a send still pending has neither finished nor failed, its
   // cumulative-ACK progress never exceeds the frames that exist, and the
   // give-up counter is within its configured bound.
-  for (const auto& [id, st] : pending_sends_) {
+  // Order-insensitive sweep: asserts per-entry bounds, mutates nothing,
+  // schedules nothing — hash order cannot leak into simulated state.
+  for (const auto& [id, st] : pending_sends_) {  // NOLINT(ulsan-determinism)
     ULSOCKS_INVARIANT(
         !st->acked_done && !st->failed,
         check::msgf("node%u msg=%u finished send still pending", self_, id));
@@ -106,7 +108,8 @@ void EmpEndpoint::check_invariants() const {
   }
   // Receive bindings: every in-flight message is homed in exactly one
   // descriptor or unexpected entry, with per-frame accounting in bounds.
-  for (const auto& [key, b] : bound_) {
+  // Order-insensitive sweep, as above: pure per-binding invariant checks.
+  for (const auto& [key, b] : bound_) {  // NOLINT(ulsan-determinism)
     ULSOCKS_INVARIANT(
         (b.recv != nullptr) != (b.unexpected != nullptr),
         check::msgf("node%u binding %llx must have exactly one home", self_,

@@ -44,6 +44,25 @@ struct EmpHeader {
 
 inline constexpr std::size_t kHeaderBytes = 20;
 
+// Layout pin: the encoder serializes kind (1 byte + 1 reserved), the five
+// 16/32-bit id fields, and one final word shared by msg_bytes (data) and
+// ack_value (control) — exactly kHeaderBytes on the wire.  Growing
+// EmpHeader must fail here until kHeaderBytes and encode_/decode_ are
+// consciously revised together.
+static_assert(sizeof(EmpHeader::kind) + 1 /* reserved */ +
+                      sizeof(EmpHeader::src_node) +
+                      sizeof(EmpHeader::dst_node) + sizeof(EmpHeader::tag) +
+                      sizeof(EmpHeader::msg_id) +
+                      sizeof(EmpHeader::frame_index) +
+                      sizeof(EmpHeader::total_frames) +
+                      sizeof(EmpHeader::msg_bytes) ==
+                  kHeaderBytes,
+              "EmpHeader layout drifted: revise kHeaderBytes and the "
+              "encode_/decode_ functions together");
+static_assert(sizeof(EmpHeader::ack_value) == sizeof(EmpHeader::msg_bytes),
+              "ack_value shares the final EmpHeader wire word with "
+              "msg_bytes; the two must stay the same width");
+
 /// Largest data fragment per Ethernet frame (MTU minus EMP header).
 [[nodiscard]] constexpr std::uint32_t max_fragment_bytes(std::uint32_t mtu) {
   return mtu - static_cast<std::uint32_t>(kHeaderBytes);
@@ -79,6 +98,11 @@ struct DecodedFrame {
   EmpHeader header;
   std::span<const std::uint8_t> fragment;  // view into the input payload
 };
+static_assert(sizeof(DecodedFrame) ==
+                  sizeof(EmpHeader) + sizeof(std::span<const std::uint8_t>),
+              "DecodedFrame is a parsed header plus a borrowed view; "
+              "adding owning state would put an allocation on the per-"
+              "frame decode path");
 [[nodiscard]] std::optional<DecodedFrame> decode_frame(
     std::span<const std::uint8_t> payload);
 

@@ -45,7 +45,8 @@ void EthernetSwitch::check_invariants() const {
                     static_cast<unsigned long long>(
                         wire_.switch_port_buffer_bytes)));
   }
-  for (const auto& [mac, port] : table_) {
+  // Order-insensitive sweep: per-entry range check only, mutates nothing.
+  for (const auto& [mac, port] : table_) {  // NOLINT(ulsan-determinism)
     ULSOCKS_INVARIANT(
         port < ports_.size(),
         check::msgf("learning table names port %zu of %zu", port,

@@ -87,6 +87,10 @@ template <std::size_t Capacity = 88, std::size_t Align = 16>
 class InlineFunction {
  public:
   InlineFunction() noexcept = default;
+  // Suppression lists are shared, namespaced per tool (DESIGN.md §12):
+  // google-*/bugprone-* tokens belong to clang-tidy, ulsan-* tokens to
+  // ulsan; each tool ignores the other's.  The implicit conversions
+  // below are the std::function-compatible contract.
   InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
 
   template <class F>

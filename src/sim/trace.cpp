@@ -20,7 +20,9 @@ Level level() noexcept { return g_level; }
 void init_from_env() noexcept {
   if (g_env_checked) return;
   g_env_checked = true;
-  if (const char* env = std::getenv("ULSOCKS_TRACE")) {
+  // Host-side log verbosity only: the level gates diagnostic printing and
+  // never feeds events, digests or wire bytes.
+  if (const char* env = std::getenv("ULSOCKS_TRACE")) {  // NOLINT(ulsan-determinism)
     int v = std::atoi(env);
     if (v >= 0 && v <= 3) g_level = static_cast<Level>(v);
   }

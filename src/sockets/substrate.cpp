@@ -591,7 +591,11 @@ sim::Task<void> EmpSocketStack::drain_ctrl(const SockPtr& s, bool& progress) {
   bool any = true;
   while (any && !s->ctrl_slots.empty()) {
     any = false;
-    auto& slot = s->ctrl_slots.front();
+    // The rotation below (push_back + pop_front) moves the deque element
+    // while this coroutine is suspended in the awaits; the Slot object
+    // itself is heap-stable, so hold the pointee, never a reference to
+    // the deque slot.
+    Slot* slot = s->ctrl_slots.front().get();
     if (ep_.test_recv(slot->handle)) {
       auto result = co_await ep_.wait_recv(slot->handle);
       if (auto m = decode_ctrl(

@@ -23,6 +23,10 @@ struct Flags {
   bool rst = false;
   friend bool operator==(const Flags&, const Flags&) = default;
 };
+static_assert(sizeof(Flags) == 4,
+              "Flags grew: each flag packs into one bit of the single "
+              "wire flags byte — extend build_header/decode_segment "
+              "before adding one");
 
 struct Segment {
   std::uint16_t src_node = 0;
@@ -37,6 +41,18 @@ struct Segment {
 };
 
 inline constexpr std::size_t kSegmentHeaderBytes = 40;  // ~IP(20)+TCP(20)
+
+// Layout pin: the encoder lays the address quad, seq/ack, window and one
+// flags byte into the zero-padded nominal IP+TCP header.  A new Segment
+// field must fail here until build_header/decode_segment and (if the
+// nominal size grows) kSegmentHeaderBytes are revised together.
+static_assert(sizeof(Segment::src_node) + sizeof(Segment::dst_node) +
+                      sizeof(Segment::src_port) + sizeof(Segment::dst_port) +
+                      sizeof(Segment::seq) + sizeof(Segment::ack) +
+                      sizeof(Segment::window) + 1 /* flags byte */ ==
+                  29,
+              "Segment wire fields drifted from the 29 bytes build_header "
+              "serializes into the 40-byte padded header");
 
 /// Standard Ethernet MSS for a 1500-byte MTU.
 inline constexpr std::uint32_t kMss = 1460;

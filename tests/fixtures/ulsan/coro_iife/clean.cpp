@@ -1,0 +1,13 @@
+// ulsan fixture: the safe shape — capture-free coroutine lambda taking
+// its state as parameters, so everything lives in the coroutine frame.
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+void spawn(int* counter) {
+  auto t = [](int* c) -> Task<void> {
+    co_await delay(1);
+    ++*c;
+  }(counter);
+  (void)t;
+}

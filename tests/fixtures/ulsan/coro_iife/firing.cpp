@@ -1,0 +1,13 @@
+// ulsan fixture: immediately-invoked lambda coroutine with a capture —
+// the closure dies at the end of the expression, the frame lives on.
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+void spawn(int& counter) {
+  auto t = [&counter]() -> Task<void> {
+    co_await delay(1);
+    ++counter;
+  }();
+  (void)t;
+}

@@ -1,0 +1,13 @@
+// ulsan fixture: same IIFE coroutine, suppressed via NOLINTNEXTLINE.
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+void spawn(int& counter) {
+  // NOLINTNEXTLINE(ulsan-coro-iife-capture)
+  auto t = [&counter]() -> Task<void> {
+    co_await delay(1);
+    ++counter;
+  }();
+  (void)t;
+}

@@ -1,0 +1,13 @@
+// ulsan fixture: suppression over the already-safe capture-free shape.
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+void spawn(int* counter) {
+  // NOLINTNEXTLINE(ulsan-coro-iife-capture)
+  auto t = [](int* c) -> Task<void> {
+    co_await delay(1);
+    ++*c;
+  }(counter);
+  (void)t;
+}

@@ -1,0 +1,17 @@
+// ulsan fixture: the compliant shapes — copy the value before awaiting,
+// or re-fetch the element after resuming.
+#include <deque>
+
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+struct Slot {
+  int seq;
+};
+
+Task<void> drain(std::deque<Slot>& slots) {
+  int seq = slots.front().seq;
+  co_await delay(1);
+  slots.front().seq = seq + 1;
+}

@@ -1,0 +1,17 @@
+// ulsan fixture: reference into a container element held across a
+// co_await — the deque can rotate while the coroutine is suspended.
+#include <deque>
+
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+struct Slot {
+  int seq;
+};
+
+Task<void> drain(std::deque<Slot>& slots) {
+  auto& slot = slots.front();
+  co_await delay(1);
+  slot.seq += 1;
+}

@@ -1,0 +1,17 @@
+// ulsan fixture: same shape, suppressed (fixture pretends the element
+// is pinned for the duration of the await).
+#include <deque>
+
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+struct Slot {
+  int seq;
+};
+
+Task<void> drain(std::deque<Slot>& slots) {
+  auto& slot = slots.front();  // NOLINT(ulsan-coro-ref-across-await)
+  co_await delay(1);
+  slot.seq += 1;
+}

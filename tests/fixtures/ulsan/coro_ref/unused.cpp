@@ -1,0 +1,17 @@
+// ulsan fixture: suppression on a reference that never crosses an
+// await — nothing fires, the suppression is the finding.
+#include <deque>
+
+template <typename T>
+struct Task {};
+Task<void> delay(int ticks);
+
+struct Slot {
+  int seq;
+};
+
+Task<void> drain(std::deque<Slot>& slots) {
+  auto& slot = slots.front();  // NOLINT(ulsan-coro-ref-across-await)
+  slot.seq += 1;
+  co_await delay(1);
+}

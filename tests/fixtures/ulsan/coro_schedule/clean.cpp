@@ -1,0 +1,12 @@
+// ulsan fixture: by-value captures into the scheduler are fine.
+#include <memory>
+
+struct Engine {
+  template <typename F>
+  void schedule_after(unsigned long delay, F&& fn);
+};
+
+void arm(Engine& eng) {
+  auto hits = std::make_shared<int>(0);
+  eng.schedule_after(100, [hits] { ++*hits; });
+}

@@ -1,0 +1,11 @@
+// ulsan fixture: reference-capturing lambda handed to the scheduler —
+// the lambda outlives the enclosing frame.
+struct Engine {
+  template <typename F>
+  void schedule_after(unsigned long delay, F&& fn);
+};
+
+void arm(Engine& eng) {
+  int hits = 0;
+  eng.schedule_after(100, [&hits] { ++hits; });
+}

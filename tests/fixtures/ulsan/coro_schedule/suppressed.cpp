@@ -1,0 +1,10 @@
+// ulsan fixture: same scheduler hand-off, suppressed (caller guarantees
+// the referent outlives the timer in this contrived fixture).
+struct Engine {
+  template <typename F>
+  void schedule_after(unsigned long delay, F&& fn);
+};
+
+void arm(Engine& eng, int& hits) {
+  eng.schedule_after(100, [&hits] { ++hits; });  // NOLINT(ulsan-coro-schedule-capture)
+}

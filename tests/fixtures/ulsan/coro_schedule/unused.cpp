@@ -1,0 +1,11 @@
+// ulsan fixture: suppression on a by-value schedule — nothing fires,
+// so the suppression itself is reported.
+struct Engine {
+  template <typename F>
+  void schedule_after(unsigned long delay, F&& fn);
+};
+
+void arm(Engine& eng) {
+  int hits = 0;
+  eng.schedule_after(100, [hits] { (void)hits; });  // NOLINT(ulsan-coro-schedule-capture)
+}

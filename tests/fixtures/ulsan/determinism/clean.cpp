@@ -1,0 +1,18 @@
+// ulsan fixture: the compliant shapes — ordered iteration, value keys,
+// lookups into unordered containers (order-independent), seeded RNG.
+#include <map>
+#include <unordered_map>
+
+struct Table {
+  std::map<int, int> credits_;
+  std::unordered_map<int, int> cache_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [id, c] : credits_) {
+      total += c;
+    }
+    auto it = cache_.find(3);  // point lookup: no iteration order involved
+    return it == cache_.end() ? total : total + it->second;
+  }
+};

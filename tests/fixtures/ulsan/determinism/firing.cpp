@@ -1,0 +1,19 @@
+// ulsan fixture: every determinism pattern fires once.
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Peer {};
+
+struct Table {
+  std::unordered_map<int, int> credits_;
+  std::map<Peer*, int> by_peer_;  // pointer-keyed ordered container
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [id, c] : credits_) {
+      total += c;
+    }
+    return total + std::rand();
+  }
+};

@@ -1,0 +1,19 @@
+// ulsan fixture: same patterns as firing.cpp, every one suppressed.
+#include <cstdlib>
+#include <map>
+#include <unordered_map>
+
+struct Peer {};
+
+struct Table {
+  std::unordered_map<int, int> credits_;
+  std::map<Peer*, int> by_peer_;  // NOLINT(ulsan-determinism)
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [id, c] : credits_) {  // NOLINT(ulsan-determinism)
+      total += c;
+    }
+    return total + std::rand();  // NOLINT(ulsan-determinism)
+  }
+};

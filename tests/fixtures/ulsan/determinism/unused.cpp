@@ -1,0 +1,7 @@
+// ulsan fixture: a suppression with nothing to suppress is itself an
+// error (the code was fixed, or the rule name is a typo).
+#include <map>
+
+struct Table {
+  std::map<int, int> credits_;  // NOLINT(ulsan-determinism)
+};

@@ -1,0 +1,5 @@
+// ulsan fixture: apps sits at the top and may include anything.
+#include "sockets/socket_api.hpp"
+#include "emp/endpoint.hpp"
+#include "tcp/connection.hpp"
+#include "sim/engine.hpp"

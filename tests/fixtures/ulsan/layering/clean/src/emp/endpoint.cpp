@@ -1,0 +1,8 @@
+// ulsan fixture: every edge emp is allowed to have.
+#include "emp/wire.hpp"
+#include "nic/dma.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+#include "check/invariant.hpp"
+#include "obs/counters.hpp"
+#include <vector>

@@ -1,0 +1,4 @@
+// ulsan fixture: net sees only sim and the utility layers.
+#include "net/port.hpp"
+#include "sim/engine.hpp"
+#include "obs/counters.hpp"

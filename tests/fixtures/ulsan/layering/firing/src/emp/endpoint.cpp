@@ -1,0 +1,5 @@
+// ulsan fixture: emp reaching up the stack — both includes violate the
+// DAG (emp may see nic/net/sim/check/obs only).
+#include "apps/httpd.hpp"
+#include "sockets/socket_api.hpp"
+#include "net/link.hpp"

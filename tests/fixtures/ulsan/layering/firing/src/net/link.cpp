@@ -1,0 +1,3 @@
+// ulsan fixture: net including a transport — sideways/up edge.
+#include "tcp/segment.hpp"
+#include "sim/engine.hpp"

@@ -1,0 +1,2 @@
+// ulsan fixture: suppression on a perfectly legal include.
+#include "net/link.hpp"  // NOLINT(ulsan-layering)

@@ -1,0 +1,8 @@
+// ulsan fixture: shard-affinity suppression with no finding under it.
+#include <functional>
+
+void enqueue_local(std::function<void()> fn);
+
+void good_hop(int payload) {
+  enqueue_local([payload] { (void)payload; });  // NOLINT(ulsan-shard-affinity)
+}

@@ -1,0 +1,12 @@
+// ulsan fixture: wire struct correctly pinned by an adjacent assert.
+#include <cstdint>
+
+struct Segment {
+  std::uint32_t seq;
+  std::uint32_t ack;
+  std::uint16_t window;
+  std::uint16_t flags;
+};
+
+static_assert(sizeof(Segment) == 12,
+              "Segment wire layout drifted — revisit the encoder");

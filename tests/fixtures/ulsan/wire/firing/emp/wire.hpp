@@ -1,0 +1,9 @@
+// ulsan fixture: a wire-format struct with no adjacent static_assert.
+#include <cstdint>
+
+struct EmpHeader {
+  std::uint8_t kind;
+  std::uint16_t src;
+  std::uint16_t dst;
+  std::uint32_t msg_id;
+};

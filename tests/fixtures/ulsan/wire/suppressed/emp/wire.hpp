@@ -1,0 +1,10 @@
+// ulsan fixture: same naked struct, suppressed.
+#include <cstdint>
+
+// NOLINTNEXTLINE(ulsan-wire-hygiene)
+struct EmpHeader {
+  std::uint8_t kind;
+  std::uint16_t src;
+  std::uint16_t dst;
+  std::uint32_t msg_id;
+};

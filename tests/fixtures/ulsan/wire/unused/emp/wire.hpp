@@ -1,0 +1,11 @@
+// ulsan fixture: suppression on a struct that already has its assert.
+#include <cstdint>
+
+// NOLINTNEXTLINE(ulsan-wire-hygiene)
+struct EmpHeader {
+  std::uint8_t kind;
+  std::uint16_t src;
+};
+
+static_assert(sizeof(EmpHeader) == 4,
+              "EmpHeader wire layout drifted — revisit the encoder");
