@@ -111,6 +111,11 @@ std::map<std::string, std::int64_t> merged_shard_metrics(
       }
     }
   }
+  // The group's own scheduler instruments ("shard/epochs",
+  // "shard/barrier_skips", "shard/epoch_ns/...") live in a separate
+  // registry with a disjoint namespace; fold them in verbatim so bench
+  // snapshots expose the epoch-size distribution per point.
+  for (const auto& [key, v] : group.metrics().snapshot()) out[key] = v;
   return out;
 }
 
@@ -746,10 +751,12 @@ double measure_web_response_us(const StackChoice& stack,
 
 double measure_scale_web_evps(const StackChoice& stack, std::size_t hosts,
                               std::size_t shards, unsigned threads,
-                              std::size_t requests_per_client) {
+                              std::size_t requests_per_client,
+                              bool scalar_lookahead) {
   ScaleWebOptions opt;
   opt.hosts = hosts;
   opt.shards = shards;
+  opt.scalar_lookahead = scalar_lookahead;
   // Never oversubscribe a perf measurement: more workers than cores turns
   // the epoch spin-barrier into scheduler thrash.  The simulated result is
   // thread-count invariant, so clamping only changes wall clock.

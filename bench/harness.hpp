@@ -246,11 +246,14 @@ class BenchResults {
 /// invariant; the returned wall-clock throughput is what scales.
 /// last_run_metrics() afterwards holds the merged cross-shard snapshot and
 /// last_run_host_perf() the aggregate event count.
+/// `scalar_lookahead` pins the group to the PR5-era scalar epoch bound —
+/// the A/B baseline for the lookahead-matrix epoch-count comparison.
 [[nodiscard]] double measure_scale_web_evps(const StackChoice& stack,
                                             std::size_t hosts,
                                             std::size_t shards,
                                             unsigned threads,
-                                            std::size_t requests_per_client);
+                                            std::size_t requests_per_client,
+                                            bool scalar_lookahead = false);
 
 /// Pretty size label ("4", "1K", "64K").
 [[nodiscard]] std::string size_label(std::size_t bytes);

@@ -114,6 +114,15 @@ int main(int argc, char** argv) {
          return measure_scale_web_evps(ds, 16, opt.shards_or(4), 4,
                                        scale_requests);
        }},
+      // Same run pinned to the PR5-era scalar epoch bound: the A/B
+      // baseline for the lookahead matrix.  check_hostperf.py asserts the
+      // matrix point above needs no more epochs ("shard/epochs" in each
+      // point's metrics) than this one.
+      {"scale_web_16hosts", &ds, "4shards_scalar",
+       [&] {
+         return measure_scale_web_evps(ds, 16, opt.shards_or(4), 4,
+                                       scale_requests, /*scalar=*/true);
+       }},
   };
 
   sim::ResultTable table({"scenario", "stack", "Mev/s", "wall_ms"});

@@ -5,6 +5,7 @@
 // any shard count and compare results across counts.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -27,6 +28,13 @@ struct ScaleWebOptions {
   std::uint32_t requests_per_connection = 8;  // HTTP/1.1 style
   std::size_t requests_per_client = 64;
   std::uint64_t seed = 1;
+  // A/B switch: pin the group to the PR5-era scalar bound (global_min + W)
+  // instead of the per-edge lookahead matrix.  Same topology, same traffic
+  // — only the epoch schedule differs, so epoch counts are comparable.
+  bool scalar_lookahead = false;
+  // Per-host cable lengths (ns of propagation, cycled over hosts); empty
+  // keeps the model's uniform wire.  See apps::Cluster.
+  std::vector<sim::Duration> per_host_propagation = {};
 };
 
 /// Builds the sharded cluster; run() spawns the server and every client on
@@ -36,9 +44,14 @@ class ScaleWeb {
   ScaleWeb(const sim::CostModel& model, const sockets::SubstrateConfig& cfg,
            const ScaleWebOptions& opt)
       : opt_(opt),
-        group_(opt.shards, net::shard_lookahead(model.wire), opt.seed),
-        cluster_(group_, model, opt.hosts, cfg),
-        per_client_(opt.hosts > 1 ? opt.hosts - 1 : 0) {}
+        group_(opt.shards, default_lookahead(model, opt), opt.seed),
+        cluster_(group_, model, opt.hosts, cfg, {}, true,
+                 opt.per_host_propagation),
+        per_client_(opt.hosts > 1 ? opt.hosts - 1 : 0) {
+    if (opt.scalar_lookahead) {
+      group_.set_lookahead_mode(sim::ShardGroup::LookaheadMode::kScalar);
+    }
+  }
 
   [[nodiscard]] sim::ShardGroup& group() { return group_; }
   [[nodiscard]] apps::Cluster& cluster() { return cluster_; }
@@ -78,6 +91,22 @@ class ScaleWeb {
   }
 
  private:
+  // The group's default (and scalar-mode) lookahead must lower-bound every
+  // link in the topology, so with heterogeneous cables it is the minimum
+  // per-host link latency; the registered edge matrix carries the true
+  // per-link values on top.
+  [[nodiscard]] static sim::Duration default_lookahead(
+      const sim::CostModel& model, const ScaleWebOptions& opt) {
+    sim::WireCosts wire = model.wire;
+    if (opt.per_host_propagation.empty()) return net::shard_lookahead(wire);
+    sim::Duration w = sim::ShardGroup::kUnreachable;
+    for (sim::Duration p : opt.per_host_propagation) {
+      wire.propagation_ns = p;
+      w = std::min(w, net::shard_lookahead(wire));
+    }
+    return w;
+  }
+
   ScaleWebOptions opt_;
   sim::ShardGroup group_;
   apps::Cluster cluster_;

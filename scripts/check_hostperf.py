@@ -29,6 +29,13 @@ workers to the hardware, so resolved_threads == 1 means a single-core host
 where the 4-shard point measures epoch overhead, not parallelism, and the
 plain 25% regression gate is the only meaningful bound).
 
+Epoch counts are checked on every host, single-core included: each evps
+point carries its "shard/epochs" metric, reported per scenario, and a
+point with a "_scalar" twin (same series, x + "_scalar" — the run pinned
+to the scalar group-wide lookahead) must not need MORE epochs than the
+twin.  Epoch counts are deterministic, so this is an exact structural
+gate on the per-edge lookahead matrix, not a wall-clock one.
+
 Usage: check_hostperf.py CURRENT [BASELINE] [--min-ratio R] [--allow-missing]
   CURRENT    BENCH_hostperf.json from the build under test
   BASELINE   committed reference (default bench/baselines/BENCH_hostperf.json)
@@ -53,14 +60,16 @@ MIN_SHARD_SPEEDUP = 2.0
 
 
 def evps_points(path):
-    """(series, x) -> (events_per_sec, bytes_copied or None)."""
+    """(series, x) -> (events_per_sec, bytes_copied or None, epochs or None)."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     points = {}
     for p in doc.get("points", []):
         if p.get("unit") == "evps":
-            copied = p.get("metrics", {}).get("host/bytes_copied")
-            points[(p["series"], p["x"])] = (float(p["value"]), copied)
+            metrics = p.get("metrics", {})
+            copied = metrics.get("host/bytes_copied")
+            epochs = metrics.get("shard/epochs")
+            points[(p["series"], p["x"])] = (float(p["value"]), copied, epochs)
     return points
 
 
@@ -93,6 +102,33 @@ def check_shard_speedup(current, current_path):
     return []
 
 
+def check_epochs(current):
+    """Report epoch counts and gate matrix points against scalar twins.
+
+    Every evps point that recorded "shard/epochs" is printed; a point whose
+    series has an "<x>_scalar" sibling is the matrix-lookahead run of the
+    same workload and shard count, and must not need more epochs than the
+    scalar baseline (fewer is the whole point; equal can happen when a
+    workload never gives the wider bounds room).
+    """
+    failures = []
+    for (series, x), (_, _, epochs) in sorted(current.items()):
+        if epochs is not None:
+            print(f"     {series:<16} x={x:<14} shard/epochs {epochs}")
+    for (series, x), (_, _, epochs) in sorted(current.items()):
+        if epochs is None or x.endswith("_scalar"):
+            continue
+        scalar = current.get((series, x + "_scalar"))
+        if scalar is None or scalar[2] is None:
+            continue
+        status = "OK " if epochs <= scalar[2] else "FAIL"
+        print(f"{status} {series:<16} x={x:<14} matrix epochs {epochs} "
+              f"vs scalar {scalar[2]}")
+        if epochs > scalar[2]:
+            failures.append((series, x + "-epochs", epochs / scalar[2]))
+    return failures
+
+
 def main(argv):
     allow_missing = "--allow-missing" in argv
     args = [a for a in argv[1:] if not a.startswith("--")]
@@ -121,7 +157,7 @@ def main(argv):
         return 0
 
     failures = []
-    for key, (base, base_copied) in sorted(baseline.items()):
+    for key, (base, base_copied, _) in sorted(baseline.items()):
         series, x = key
         if key not in current:
             msg = f"scenario {series}/{x} missing from current run"
@@ -131,7 +167,7 @@ def main(argv):
                 print(f"FAIL {msg}")
                 failures.append((series, x, 0.0))
             continue
-        cur, cur_copied = current[key]
+        cur, cur_copied, _ = current[key]
         ratio = cur / base if base > 0 else float("inf")
         status = "OK " if ratio >= min_ratio else "FAIL"
         print(f"{status} {series:<16} x={x:<12} "
@@ -149,6 +185,7 @@ def main(argv):
         print(f"NOTE: new scenario {key[0]}/{key[1]} has no baseline; "
               f"refresh with: cp {current_path} {baseline_path}")
     failures.extend(check_shard_speedup(current, current_path))
+    failures.extend(check_epochs(current))
 
     if failures:
         print(f"\nERROR: {len(failures)} host-perf gate failure(s)",

@@ -7,7 +7,7 @@ lock-free *because* nothing is shared.  The one sanctioned crossing is
 its source shard's allocator world (``clone_for_shard_transfer``) before
 handing it to ``ShardGroup::post_remote``.
 
-Two shapes are flagged:
+Three shapes are flagged:
 
 1. The cross-shard primitives — ``post_remote(`` and
    ``clone_for_shard_transfer(`` — anywhere outside the rehoming path
@@ -15,7 +15,13 @@ Two shapes are flagged:
    (``src/sim/shard.hpp``/``.cpp``).  New cross-shard edges must be
    designed, not sprinkled.
 
-2. A lambda handed to ``post_remote`` that smuggles shard-local state:
+2. Writes to the group's lookahead matrix —
+   ``register_edge_lookahead(`` — outside the same sanctioned set.  Epoch
+   soundness rests on every registered edge being a true lower bound on
+   that link's latency; ``net::Link`` derives it from its own wire costs
+   when a cross-shard edge forms, and nothing else may invent one.
+
+3. A lambda handed to ``post_remote`` that smuggles shard-local state:
    any by-reference or ``this`` capture (the callback runs on another
    shard's thread), or a capture whose name looks like a pool or engine
    handle.  This check applies *inside* the sanctioned files too — the
@@ -35,6 +41,7 @@ ALLOWED_SUFFIXES = ("src/net/link.cpp", "src/sim/shard.hpp",
                     "src/sim/shard.cpp")
 POST_REMOTE = re.compile(r"\bpost_remote\s*\(")
 CLONE = re.compile(r"\bclone_for_shard_transfer\s*\(")
+REGISTER = re.compile(r"\bregister_edge_lookahead\s*\(")
 HANDLE_NAME = re.compile(r"(?:^|_)(?:pool|eng|engine)s?_?$|pool_?$",
                          re.IGNORECASE)
 
@@ -81,6 +88,13 @@ def check(sf: SourceFile, ctx: RunContext) -> list[Finding]:
                 "clone_for_shard_transfer() outside the rehoming path — "
                 "shard-crossing frames are cloned exactly once, in "
                 "net::Link::transmit"))
+        for m in REGISTER.finditer(text):
+            findings.append(_finding(
+                sf, m.start(),
+                "register_edge_lookahead() outside net::Link — edge "
+                "lookaheads are derived from a link's own wire costs when "
+                "a cross-shard edge forms; a hand-written entry that "
+                "overstates a latency silently unsounds every epoch bound"))
 
     # Capture hygiene on every post_remote callback, sanctioned or not.
     for call in POST_REMOTE.finditer(text):

@@ -50,10 +50,15 @@ class Cluster {
     sockets::EmpSocketStack socks;
   };
 
+  /// `per_host_propagation` (when non-empty) gives host i's cable a
+  /// propagation delay of per_host_propagation[i % size()] ns instead of
+  /// the model's uniform wire — see net::StarNetwork.
   Cluster(sim::Engine& eng, const sim::CostModel& model,
           std::size_t node_count, sockets::SubstrateConfig cfg = {},
-          tcp::TcpTunables tcp_tun = {}, bool dual_cpu_nic = true)
-      : eng_(eng), model_(model), net_(eng, model.wire, node_count) {
+          tcp::TcpTunables tcp_tun = {}, bool dual_cpu_nic = true,
+          std::vector<sim::Duration> per_host_propagation = {})
+      : eng_(eng), model_(model),
+        net_(eng, model.wire, node_count, std::move(per_host_propagation)) {
     nodes_.reserve(node_count);
     for (std::size_t i = 0; i < node_count; ++i) {
       nodes_.push_back(std::make_unique<Node>(
@@ -69,9 +74,10 @@ class Cluster {
   /// group this is byte-identical to the serial constructor above.
   Cluster(sim::ShardGroup& group, const sim::CostModel& model,
           std::size_t node_count, sockets::SubstrateConfig cfg = {},
-          tcp::TcpTunables tcp_tun = {}, bool dual_cpu_nic = true)
+          tcp::TcpTunables tcp_tun = {}, bool dual_cpu_nic = true,
+          std::vector<sim::Duration> per_host_propagation = {})
       : eng_(group.shard(0)), model_(model),
-        net_(group, model.wire, node_count) {
+        net_(group, model.wire, node_count, std::move(per_host_propagation)) {
     nodes_.reserve(node_count);
     for (std::size_t i = 0; i < node_count; ++i) {
       nodes_.push_back(std::make_unique<Node>(

@@ -63,6 +63,20 @@ FramePtr clone_for_shard_transfer(const Frame& f) {
 void Link::resolve_shard(Endpoint& e) {
   if (group_ != nullptr && e.eng != nullptr) {
     e.shard = group_->index_of(*e.eng);
+    e.resolved = true;
+  }
+}
+
+void Link::maybe_register_lookahead() {
+  // Both directions share the wire costs, so a cross-shard link
+  // contributes a symmetric pair of edges.  Registration is
+  // min-accumulating in the group, so re-attachment and parallel links
+  // between the same shard pair are harmless.
+  if (end_[0].resolved && end_[1].resolved && end_[0].shard != end_[1].shard) {
+    group_->register_edge_lookahead(end_[0].shard, end_[1].shard,
+                                    min_latency());
+    group_->register_edge_lookahead(end_[1].shard, end_[0].shard,
+                                    min_latency());
   }
 }
 
@@ -90,7 +104,8 @@ sim::Time Link::transmit(Side side, FramePtr frame) {
                           });
   } else {
     // Cross-shard: arrival >= now + serialization(min frame) + propagation
-    // >= now + lookahead, which is exactly what post_remote demands.
+    // = now + min_latency(), which is exactly the edge lookahead this link
+    // registered — the invariant post_remote demands.
     FramePtr crossed = clone_for_shard_transfer(*frame);
     frame.reset();  // original returns to its source-shard pool here
     group_->post_remote(

@@ -64,12 +64,16 @@ class Link {
 
   /// Attach a sink together with the engine its side runs on.  With a
   /// shard group installed, a transmit whose two sides resolve to
-  /// different shards takes the mailbox path.
+  /// different shards takes the mailbox path.  The moment both sides
+  /// resolve to distinct shards, the link registers its per-direction
+  /// lookahead (min-frame serialization + this link's propagation) with
+  /// the group — forming a cross-shard edge IS the registration.
   void attach(Side side, FrameSink* sink, sim::Engine& eng) {
     Endpoint& e = end_[static_cast<int>(side)];
     e.sink = sink;
     e.eng = &eng;
     resolve_shard(e);
+    maybe_register_lookahead();
   }
 
   /// Route cross-engine transmits through `group`'s mailboxes.  Call after
@@ -79,6 +83,14 @@ class Link {
     group_ = &group;
     resolve_shard(end_[0]);
     resolve_shard(end_[1]);
+    maybe_register_lookahead();
+  }
+
+  /// Minimum simulated latency of any frame this link can deliver — what
+  /// it registers as its cross-shard edge lookahead.
+  [[nodiscard]] sim::Duration min_latency() const {
+    return sim::serialization_ns(Frame{}.wire_bytes(), bps_) +
+           propagation_ns_;
   }
 
   /// Install a drop policy on the direction *transmitting from* `side`.
@@ -115,6 +127,7 @@ class Link {
     FrameSink* sink = nullptr;   // receiver of frames sent *to* this side
     sim::Engine* eng = nullptr;  // engine this side's component runs on
     std::uint32_t shard = 0;     // shard index of `eng` (when grouped)
+    bool resolved = false;       // shard index is known (group + engine set)
     DropPolicy drop;             // applied to frames sent *from* this side
     sim::Time busy_until = 0;    // wire-free time for this direction
     std::uint64_t sent = 0;
@@ -126,6 +139,7 @@ class Link {
   };
 
   void resolve_shard(Endpoint& e);
+  void maybe_register_lookahead();
 
   std::uint64_t bps_;
   sim::Duration propagation_ns_;

@@ -20,8 +20,18 @@ ShardGroup::ShardGroup(std::size_t shards, Duration lookahead,
     engines_.push_back(std::make_unique<Engine>(seed + i));
   }
   mail_.resize(shards * shards);
+  edges_.assign(shards * shards, kUnreachable);
+  dist_.assign(shards * shards, kUnreachable);
   bounds_.assign(shards, kNoBound);
+  tnext_.assign(shards, kNoBound);
+  runnable_.assign(shards, 0);
   errors_.assign(shards, nullptr);
+  // Register the scheduler instruments up front so quiesced snapshots carry
+  // them (as zeros) even for runs that never cross a barrier.
+  epoch_ns_hist_ = &metrics_.histogram("shard/epoch_ns");
+  (void)metrics_.counter("shard/epochs");
+  (void)metrics_.counter("shard/barrier_skips");
+  (void)metrics_.counter("shard/remote_events");
   checks_.add("sim.shard.mailbox_conservation", [this] {
     std::uint64_t posted = 0;
     for (const Mailbox& b : mail_) posted += b.next_seq;
@@ -42,63 +52,234 @@ std::uint32_t ShardGroup::index_of(const Engine& eng) const {
   return 0;  // unreachable
 }
 
+void ShardGroup::register_edge_lookahead(std::uint32_t src, std::uint32_t dst,
+                                         Duration w) {
+  const std::size_t n = engines_.size();
+  ULSOCKS_INVARIANT(src < n && dst < n && src != dst,
+                    "register_edge_lookahead: bad shard pair");
+  ULSOCKS_INVARIANT(w >= 1,
+                    "zero edge lookahead admits same-instant cross-shard "
+                    "causality on this edge");
+  if (!any_registered_) {
+    // First registration flips the group from the all-pairs constructor
+    // default to registered-edges-only: pairs nobody declares are
+    // unreachable and constrain no bound.
+    std::fill(edges_.begin(), edges_.end(), kUnreachable);
+    any_registered_ = true;
+    dist_dirty_ = true;
+  }
+  Duration& cell = edges_[static_cast<std::size_t>(src) * n + dst];
+  if (w < cell) {
+    cell = w;
+    dist_dirty_ = true;
+  }
+}
+
+Duration ShardGroup::edge_lookahead(std::uint32_t src,
+                                    std::uint32_t dst) const {
+  const std::size_t n = engines_.size();
+  ULSOCKS_INVARIANT(src < n && dst < n, "edge_lookahead: bad shard pair");
+  if (src == dst) return kUnreachable;
+  return edge(src, dst);
+}
+
+Duration ShardGroup::path_lookahead(std::uint32_t src, std::uint32_t dst) {
+  const std::size_t n = engines_.size();
+  ULSOCKS_INVARIANT(src < n && dst < n, "path_lookahead: bad shard pair");
+  if (dist_dirty_) refresh_dist();
+  return dist(src, dst);
+}
+
+void ShardGroup::refresh_dist() {
+  // Floyd–Warshall over the effective edge matrix, with the diagonal
+  // seeded unreachable so D[i][i] converges to the minimum directed cycle
+  // through i — the reflection bound.  All weights are >= 1 ns, so the
+  // closure is well defined and every finite entry is positive.  n is the
+  // shard count (single digits), so the cubic sweep is noise; it reruns
+  // only when a registration actually changes an edge.
+  const std::size_t n = engines_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      dist_[s * n + d] =
+          s == d ? kUnreachable
+                 : (any_registered_ ? edges_[s * n + d] : lookahead_);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const Duration sk = dist_[s * n + k];
+      if (sk == kUnreachable) continue;
+      for (std::size_t d = 0; d < n; ++d) {
+        const Duration kd = dist_[k * n + d];
+        if (kd == kUnreachable) continue;
+        const Duration via =
+            sk >= kUnreachable - kd ? kUnreachable : sk + kd;
+        if (via < dist_[s * n + d]) dist_[s * n + d] = via;
+      }
+    }
+  }
+  dist_dirty_ = false;
+}
+
 void ShardGroup::post_remote(std::uint32_t src, std::uint32_t dst, Time t,
                              EventFn fn) {
   const std::size_t n = engines_.size();
   ULSOCKS_INVARIANT(src < n && dst < n && src != dst,
                     "post_remote: bad shard pair");
-  // The conservative guarantee everything rests on: a cross-shard effect
-  // can never land closer than the lookahead ahead of its source's clock.
+  const Duration w = edge(src, dst);
   ULSOCKS_INVARIANT(
-      t >= engines_[src]->now() + lookahead_,
+      w != kUnreachable,
+      check::msgf("post_remote on unregistered edge %u -> %u: every "
+                  "cross-shard path must register_edge_lookahead first",
+                  src, dst));
+  // The conservative guarantee everything rests on: a cross-shard effect
+  // can never land closer than this edge's lookahead ahead of its
+  // source's clock.
+  ULSOCKS_INVARIANT(
+      t >= engines_[src]->now() + w,
       check::msgf("cross-shard post violates lookahead: t=%llu < "
-                  "src_now=%llu + W=%llu",
+                  "src_now=%llu + W[%u][%u]=%llu",
                   static_cast<unsigned long long>(t),
-                  static_cast<unsigned long long>(engines_[src]->now()),
-                  static_cast<unsigned long long>(lookahead_)));
+                  static_cast<unsigned long long>(engines_[src]->now()), src,
+                  dst, static_cast<unsigned long long>(w)));
   Mailbox& b = box(src, dst);
   b.entries.push_back(MailEntry{t, b.next_seq++, src, std::move(fn)});
 }
 
 bool ShardGroup::begin_epoch() {
-  // Bounded-lag window: every shard shares the bound G + W, where G is the
-  // GLOBAL minimum next-event time — including each shard's own clock.
+  // Per-shard windows from the lookahead closure D:
   //
-  // Why self must be included: it is tempting to give shard i the classic
-  // per-pair CMB bound min_{j!=i}(T_j) + W, which is one-hop safe — but in
-  // a barrier-synchronous scheme it breaks on multi-hop reflection.  If
-  // every peer of i is idle or far in the future, i runs far ahead; i's own
-  // posts then wake an idle hub shard (the switch) in a LATER epoch, and
-  // the hub's relayed frames land in i's past.  Per-pair bounds are only
-  // sound when channel clocks propagate transitively (null messages),
-  // which a barrier does not do.
+  //   bound_i = min over all shards j of (T_j + D[j][i])
   //
-  // The shared window is sound by induction: every event executed this
-  // epoch has t in [G, G + W), so every cross-shard post carries
-  // t >= G + W, strictly beyond every shard's clock at the barrier.  And
-  // it makes progress: the shard owning G always executes at least one
-  // event, so epochs never deadlock.
+  // where T_j is shard j's next event time (infinity when drained).  The
+  // j == i term uses D[i][i], the minimum round trip back to i — it is
+  // what stops a shard whose peers are all idle from running past the
+  // earliest possible echo of its own output.  The closure (not the raw
+  // edge matrix) is essential: the classic per-pair CMB bound
+  // min_{j!=i}(T_j + W[j][i]) is one-hop safe but breaks under a barrier
+  // on multi-hop relays — an idle hub (the switch shard) woken by i's own
+  // posts would relay frames into i's past.  Taking the min over shortest
+  // *paths* folds every relay chain, and the cycle diagonal folds
+  // reflection; DESIGN.md §11 has the induction.
+  //
+  // Soundness: every event executed this epoch on shard j has t < bound_j
+  // <= T_j' for any later T_j', and every post it makes toward i carries
+  // t >= now_j + W[j][i] >= T_j + D[j][i] >= bound_i — strictly beyond
+  // everything i executes this epoch (the debug check in
+  // deliver_mailboxes() pins this per delivery).  Progress: all D entries
+  // are >= 1, so the shard owning the global minimum always has
+  // bound > T and executes at least one event.
   const std::size_t n = engines_.size();
+  if (dist_dirty_) refresh_dist();
   Time gmin = kNoBound;
   for (std::size_t i = 0; i < n; ++i) {
     const std::optional<Time> t = engines_[i]->next_event_time();
-    if (t && *t < gmin) gmin = *t;
+    tnext_[i] = t ? *t : kNoBound;
+    if (tnext_[i] < gmin) gmin = tnext_[i];
   }
   if (gmin == kNoBound) return false;
+  // Simulated global-clock advance per barrier round; gmin strictly
+  // increases between rounds (every executed window moves its shard's T
+  // past the old gmin, and delivered mail honours the edge lookahead).
+  if (have_gmin_) epoch_ns_hist_->observe(gmin - last_gmin_);
+  last_gmin_ = gmin;
+  have_gmin_ = true;
   if (n == 1) {
     // No cross-shard causality exists; the single shard runs to drain.
     bounds_[0] = kNoBound;
+    runnable_[0] = 1;
     return true;
   }
-  const Time bound = gmin + lookahead_;
-  for (std::size_t i = 0; i < n; ++i) bounds_[i] = bound;
+  if (mode_ == LookaheadMode::kScalar) {
+    // A/B baseline: the PR5-era shared window global_min + W.
+    const Time bound = sat_add(gmin, lookahead_);
+    for (std::size_t i = 0; i < n; ++i) bounds_[i] = bound;
+  } else {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      Time b = kNoBound;
+      for (std::size_t src = 0; src < n; ++src) {
+        const Time via = sat_add(tnext_[src], dist_[src * n + dst]);
+        if (via < b) b = via;
+      }
+      bounds_[dst] = b;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    runnable_[i] = tnext_[i] < bounds_[i] ? 1 : 0;
+  }
   return true;
+}
+
+std::vector<Time> ShardGroup::plan_bounds() {
+  if (!begin_epoch()) return {};
+  return bounds_;
+}
+
+std::size_t ShardGroup::single_runnable() const {
+  std::size_t lone = kNone;
+  for (std::size_t i = 0; i < runnable_.size(); ++i) {
+    if (!runnable_[i]) continue;
+    if (lone != kNone) return kNone;
+    lone = i;
+  }
+  return lone;
+}
+
+bool ShardGroup::outbox_empty(std::size_t src) const {
+  const std::size_t n = engines_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    if (!mail_[src * n + dst].entries.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t ShardGroup::coalesce_single(std::size_t i) {
+  // Sole-runnable streak: every other shard stays non-runnable while only
+  // T_i advances (their bounds are monotone in T_i), so the next window's
+  // bound for i needs no full replan — the contributions from the others,
+  //
+  //   other_min = min_{j != i} (T_j + D[j][i]),
+  //
+  // are frozen, and only i's own reflection term T_i' + D[i][i] moves.
+  // Each micro-window here is exactly the window a full barrier replan
+  // would have produced, so epochs() stays a pure function of the
+  // workload; what the streak skips is the O(n^2) replan and (in parallel
+  // runs) the worker wake — not any window the schedule owes.  The streak
+  // breaks as soon as i posts cross-shard mail (delivery needs the
+  // barrier), fails, drains, stops being the constraint, or exhausts the
+  // stride cap that keeps checker cadence and mailbox latency bounded.
+  const std::size_t n = engines_.size();
+  const bool scalar = mode_ == LookaheadMode::kScalar;
+  const Duration self =
+      n == 1 ? kUnreachable : (scalar ? lookahead_ : dist(i, i));
+  Time other_min = kNoBound;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == i) continue;
+    const Time via = sat_add(tnext_[j], scalar ? lookahead_ : dist(j, i));
+    if (via < other_min) other_min = via;
+  }
+  std::size_t strides = 0;
+  for (;;) {
+    run_shard(i);
+    ++strides;
+    ++epochs_;
+    if (errors_[i] || !outbox_empty(i) || strides >= kMaxCoalesceStride) {
+      break;
+    }
+    const std::optional<Time> t = engines_[i]->next_event_time();
+    if (!t) break;  // drained
+    const Time nb = std::min(other_min, sat_add(*t, self));
+    if (*t >= nb) break;  // no longer the sole constraint
+    bounds_[i] = nb;
+  }
+  return strides;
 }
 
 void ShardGroup::run_shard(std::size_t i) noexcept {
   try {
     if (bounds_[i] == kNoBound) {
-      // Only a one-shard group (or an idle shard) gets here: run to drain.
+      // One-shard groups and shards no reachable peer can affect: run to
+      // drain (their posts, if any, still wait for the barrier).
       engines_[i]->run();
     } else {
       engines_[i]->run_before(bounds_[i]);
@@ -117,8 +298,11 @@ void ShardGroup::finish_epoch() {
     }
   }
   deliver_mailboxes();
-  ++epochs_;
-  if (check_epoch_interval_ != 0 && epochs_ % check_epoch_interval_ == 0) {
+  // Coalesced streaks advance epochs_ by more than one between barriers;
+  // compare against the last sweep instead of a modulus.
+  if (check_epoch_interval_ != 0 &&
+      epochs_ - last_check_epoch_ >= check_epoch_interval_) {
+    last_check_epoch_ = epochs_;
     checks_.run_all();
   }
 }
@@ -145,6 +329,17 @@ void ShardGroup::deliver_mailboxes() {
                 return a.src < b.src;
               });
     for (MailEntry& e : scratch_) {
+#ifndef NDEBUG
+      // The matrix-soundness induction, checked per delivery: nothing may
+      // land inside the window its destination just executed.
+      ULSOCKS_INVARIANT(
+          bounds_[dst] == kNoBound || e.t >= bounds_[dst],
+          check::msgf("delivered mailbox entry violates W[src][dst]: "
+                      "t=%llu < bound[%llu]=%llu (src=%u)",
+                      static_cast<unsigned long long>(e.t),
+                      static_cast<unsigned long long>(dst),
+                      static_cast<unsigned long long>(bounds_[dst]), e.src));
+#endif
       engines_[dst]->schedule_at(e.t, std::move(e.fn));
       ++delivered_;
     }
@@ -154,7 +349,15 @@ void ShardGroup::deliver_mailboxes() {
 
 void ShardGroup::run_serial() {
   while (begin_epoch()) {
-    for (std::size_t i = 0; i < engines_.size(); ++i) run_shard(i);
+    const std::size_t lone = single_runnable();
+    if (lone != kNone) {
+      barrier_skips_ += coalesce_single(lone);
+    } else {
+      for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (runnable_[i]) run_shard(i);
+      }
+      ++epochs_;
+    }
     finish_epoch();
   }
 }
@@ -165,24 +368,36 @@ void ShardGroup::run_parallel(unsigned resolved) {
   // so per-epoch thread churn or futex round-trips would dominate.  Main
   // acts as worker 0; shard i belongs to worker i % resolved, so a shard
   // is stepped by the same thread every epoch.
+  //
+  // Each worker has its own padded go counter, and an epoch wakes only the
+  // workers owning a runnable shard: the others keep spinning on their own
+  // line and never touch shared scheduler state, so a sole-runnable streak
+  // (coalesce_single on this thread) proceeds with zero worker traffic.
+  // Happens-before is the per-worker go release/acquire edge out and the
+  // shared done release/acquire edge back.
   const std::size_t n = engines_.size();
-  std::atomic<std::uint64_t> go{0};
+  struct alignas(64) WorkerSignal {
+    std::atomic<std::uint64_t> go{0};
+  };
+  std::vector<WorkerSignal> sig(resolved);
   std::atomic<unsigned> done{0};
   std::atomic<bool> quit{false};
   std::vector<std::thread> pool;
   pool.reserve(resolved - 1);
   for (unsigned w = 1; w < resolved; ++w) {
-    pool.emplace_back([this, w, resolved, n, &go, &done, &quit] {
+    pool.emplace_back([this, w, resolved, n, &sig, &done, &quit] {
       std::uint64_t seen = 0;
       for (;;) {
         std::uint32_t spins = 0;
-        while (go.load(std::memory_order_acquire) == seen &&
+        while (sig[w].go.load(std::memory_order_acquire) == seen &&
                !quit.load(std::memory_order_acquire)) {
           if ((++spins & 1023u) == 0) std::this_thread::yield();
         }
-        if (quit.load(std::memory_order_acquire)) break;
-        seen = go.load(std::memory_order_acquire);
-        for (std::size_t i = w; i < n; i += resolved) run_shard(i);
+        if (sig[w].go.load(std::memory_order_acquire) == seen) break;  // quit
+        seen = sig[w].go.load(std::memory_order_acquire);
+        for (std::size_t i = w; i < n; i += resolved) {
+          if (runnable_[i]) run_shard(i);
+        }
         done.fetch_add(1, std::memory_order_release);
       }
     });
@@ -190,13 +405,35 @@ void ShardGroup::run_parallel(unsigned resolved) {
   std::exception_ptr failure;
   try {
     while (begin_epoch()) {
+      const std::size_t lone = single_runnable();
+      if (lone != kNone) {
+        // Scheduling decisions live on group state only, so serial and
+        // parallel runs take identical streaks — epochs() and
+        // barrier_skips() never depend on the thread count.
+        barrier_skips_ += coalesce_single(lone);
+        finish_epoch();
+        continue;
+      }
       done.store(0, std::memory_order_relaxed);
-      go.fetch_add(1, std::memory_order_release);
-      for (std::size_t i = 0; i < n; i += resolved) run_shard(i);
+      unsigned woken = 0;
+      for (unsigned w = 1; w < resolved; ++w) {
+        bool any = false;
+        for (std::size_t i = w; i < n && !any; i += resolved) {
+          any = runnable_[i] != 0;
+        }
+        if (any) {
+          sig[w].go.fetch_add(1, std::memory_order_release);
+          ++woken;
+        }
+      }
+      for (std::size_t i = 0; i < n; i += resolved) {
+        if (runnable_[i]) run_shard(i);
+      }
       std::uint32_t spins = 0;
-      while (done.load(std::memory_order_acquire) != resolved - 1) {
+      while (done.load(std::memory_order_acquire) != woken) {
         if ((++spins & 1023u) == 0) std::this_thread::yield();
       }
+      ++epochs_;
       finish_epoch();
     }
   } catch (...) {
@@ -220,6 +457,17 @@ void ShardGroup::run(unsigned threads) {
   }
   // Quiesced: every queue drained, every mailbox delivered.
   checks_.run_all();
+  flush_metrics();
+}
+
+void ShardGroup::flush_metrics() {
+  metrics_.counter("shard/epochs").inc(epochs_ - epochs_flushed_);
+  epochs_flushed_ = epochs_;
+  metrics_.counter("shard/barrier_skips").inc(barrier_skips_ - skips_flushed_);
+  skips_flushed_ = barrier_skips_;
+  metrics_.counter("shard/remote_events")
+      .inc(delivered_ - delivered_flushed_);
+  delivered_flushed_ = delivered_;
 }
 
 std::uint64_t ShardGroup::digest() const {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/cluster.hpp"
+#include "check/invariant.hpp"
 #include "net/frame.hpp"
 #include "net/link.hpp"
 #include "net/payload_slice.hpp"
@@ -431,6 +432,18 @@ struct ShardEchoOptions {
   double loss = 0.0;
   int rounds = 20;
   std::uint64_t seed = 42;
+  // Per-host cable propagation overrides (ns), cycled over hosts; empty
+  // keeps the calibrated model's uniform wire.
+  std::vector<sim::Duration> per_host_propagation = {};
+  // Pin the group to the PR5-era scalar epoch bound instead of the
+  // per-edge lookahead matrix (A/B comparisons).
+  bool scalar_lookahead = false;
+};
+
+/// Scheduler-side observables of a sharded run, for epoch-count A/Bs.
+struct GroupStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t barrier_skips = 0;
 };
 
 Task<void> shard_echo_server(os::SocketApi& api) {
@@ -486,9 +499,23 @@ void shard_echo_losses(Cluster& cl, const ShardEchoOptions& opt) {
   }
 }
 
+/// The group's default (and scalar-mode) lookahead: a lower bound on every
+/// link's latency, so the minimum over the heterogeneous cables in play.
+sim::Duration echo_lookahead(const sim::CostModel& model,
+                             const ShardEchoOptions& opt) {
+  sim::WireCosts wire = model.wire;
+  sim::Duration la = net::shard_lookahead(wire);
+  for (sim::Duration p : opt.per_host_propagation) {
+    wire.propagation_ns = p;
+    la = std::min(la, net::shard_lookahead(wire));
+  }
+  return la;
+}
+
 ShardSignature run_plain_echo(const ShardEchoOptions& opt = {}) {
   Engine eng(opt.seed);
-  Cluster cl(eng, sim::calibrated_cost_model(), 2, opt.cfg);
+  Cluster cl(eng, sim::calibrated_cost_model(), 2, opt.cfg, {}, true,
+             opt.per_host_propagation);
   shard_echo_losses(cl, opt);
   std::uint64_t echoed = 0;
   eng.spawn(shard_echo_server(shard_echo_api(cl, 1, opt.use_tcp)));
@@ -500,10 +527,14 @@ ShardSignature run_plain_echo(const ShardEchoOptions& opt = {}) {
 }
 
 ShardSignature run_sharded_echo(std::size_t shards, unsigned threads,
-                                const ShardEchoOptions& opt = {}) {
+                                const ShardEchoOptions& opt = {},
+                                GroupStats* stats = nullptr) {
   const sim::CostModel model = sim::calibrated_cost_model();
-  sim::ShardGroup group(shards, net::shard_lookahead(model.wire), opt.seed);
-  Cluster cl(group, model, 2, opt.cfg);
+  sim::ShardGroup group(shards, echo_lookahead(model, opt), opt.seed);
+  if (opt.scalar_lookahead) {
+    group.set_lookahead_mode(sim::ShardGroup::LookaheadMode::kScalar);
+  }
+  Cluster cl(group, model, 2, opt.cfg, {}, true, opt.per_host_propagation);
   shard_echo_losses(cl, opt);
   std::uint64_t echoed = 0;
   cl.node_engine(1).spawn(shard_echo_server(shard_echo_api(cl, 1, opt.use_tcp)));
@@ -511,6 +542,10 @@ ShardSignature run_sharded_echo(std::size_t shards, unsigned threads,
       shard_echo_api(cl, 0, opt.use_tcp), opt.seed ^ 0xabcdefull, opt.rounds,
       &echoed));
   group.run(threads);
+  if (stats != nullptr) {
+    stats->epochs = group.epochs();
+    stats->barrier_skips = group.barrier_skips();
+  }
   return {group.digest(), group.causal_digest(), group.events_executed(),
           group.now(), echoed};
 }
@@ -621,6 +656,128 @@ TEST(Sharding, MailboxDrainsInTimeSeqSrcOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 3, 0, 2, 4}));
   EXPECT_EQ(group.remote_delivered(), 5u);
   EXPECT_GE(group.epochs(), 2u);
+}
+
+// The per-edge lookahead machinery, exercised directly.  Registered edges
+// 0->1=1000, 1->0=200, 1->2=3000, 2->1=50 give the closure
+//   D[0][2] = 4000 (via 1),  D[2][0] = 250 (via 1),
+//   D[0][0] = D[1][1] = 1200 (cycle 0->1->0),  D[2][2] = 3050,
+// and with next events T = {100, 200, 300} the per-shard bounds are
+//   bound_0 = T_1 + D[1][0] = 400,  bound_1 = T_2 + D[2][1] = 350,
+//   bound_2 = T_1 + D[1][2] = 3200.
+TEST(Sharding, AsymmetricMatrixBoundsFollowTheClosure) {
+  sim::ShardGroup group(3, /*lookahead=*/10);
+  // Before any registration every pair carries the constructor default.
+  EXPECT_EQ(group.edge_lookahead(0, 2), 10u);
+  group.register_edge_lookahead(0, 1, 1000);
+  group.register_edge_lookahead(1, 0, 200);
+  group.register_edge_lookahead(1, 2, 3000);
+  group.register_edge_lookahead(2, 1, 50);
+  // Registration flips the group to registered-edges-only...
+  EXPECT_EQ(group.edge_lookahead(0, 2), sim::ShardGroup::kUnreachable);
+  // ...and accumulates the minimum per pair.
+  group.register_edge_lookahead(0, 1, 5000);
+  EXPECT_EQ(group.edge_lookahead(0, 1), 1000u);
+
+  EXPECT_EQ(group.path_lookahead(0, 2), 4000u);
+  EXPECT_EQ(group.path_lookahead(2, 0), 250u);
+  EXPECT_EQ(group.path_lookahead(0, 0), 1200u);
+  EXPECT_EQ(group.path_lookahead(1, 1), 1200u);
+  EXPECT_EQ(group.path_lookahead(2, 2), 3050u);
+
+  group.shard(0).schedule_at(100, [] {});
+  group.shard(1).schedule_at(200, [] {});
+  group.shard(2).schedule_at(300, [] {});
+  EXPECT_EQ(group.plan_bounds(),
+            (std::vector<sim::Time>{400, 350, 3200}));
+  // Every next event sits below its bound here, so all three run.
+  EXPECT_EQ(group.planned_runnable(),
+            (std::vector<std::uint8_t>{1, 1, 1}));
+
+  // Posting over a pair nobody registered is an invariant violation, not a
+  // silent unsound schedule.
+  EXPECT_THROW(group.post_remote(0, 2, 100'000, [] {}),
+               check::InvariantError);
+}
+
+// A shard no reachable peer can affect gets the drain sentinel: with only
+// the edge 0->1 registered, nothing constrains shard 0 (no incoming path,
+// no cycle), while shard 1 is bounded by T_0 + W[0][1].
+TEST(Sharding, DrainSentinelWhenNoPathConstrains) {
+  sim::ShardGroup group(2, /*lookahead=*/10);
+  group.register_edge_lookahead(0, 1, 500);
+  EXPECT_EQ(group.path_lookahead(1, 0), sim::ShardGroup::kUnreachable);
+  group.shard(0).schedule_at(100, [] {});
+  group.shard(1).schedule_at(50, [] {});
+  EXPECT_EQ(group.plan_bounds(),
+            (std::vector<sim::Time>{sim::ShardGroup::kNoBound, 600}));
+  // A drained group plans nothing at all.
+  group.run(1);
+  EXPECT_TRUE(group.plan_bounds().empty());
+}
+
+// Idle shards (no events) and far-future shards are excluded from the
+// runnable set, and a sole-runnable shard proceeds through coalesced
+// micro-epochs on the barrier thread — counted by barrier_skips() and
+// mirrored into the group's metrics registry.
+TEST(Sharding, IdleShardSkipLeavesItNonRunnable) {
+  sim::ShardGroup group(3, /*lookahead=*/100);
+  // Uniform default edges: D[i][j] = 100 off-diagonal, every cycle 200.
+  for (sim::Time t = 0; t < 100; t += 10) {
+    group.shard(0).schedule_at(t, [] {});
+  }
+  group.shard(1).schedule_at(500, [] {});
+  // Shard 2 stays idle.
+  ASSERT_FALSE(group.plan_bounds().empty());
+  // bound_0 = min(0+200, 500+100) = 200 > T_0; bound_1 = 0+100 <= 500;
+  // shard 2 has no event at all.
+  EXPECT_EQ(group.planned_runnable(),
+            (std::vector<std::uint8_t>{1, 0, 0}));
+  group.run(1);
+  EXPECT_GE(group.barrier_skips(), 2u);  // both windows ran solo
+  EXPECT_GE(group.epochs(), 2u);
+  const auto snap = group.metrics().snapshot();
+  EXPECT_EQ(snap.at("shard/epochs"),
+            static_cast<std::int64_t>(group.epochs()));
+  EXPECT_EQ(snap.at("shard/barrier_skips"),
+            static_cast<std::int64_t>(group.barrier_skips()));
+}
+
+// Heterogeneous cables: host 0 on a short (200 ns) cable, host 1 on a long
+// (5000 ns) one.  The registered per-link edges differ per direction pair,
+// the serial engine must agree with a one-shard group byte-for-byte, and
+// the outcome must stay invariant across shard counts and thread counts.
+TEST(Sharding, HeterogeneousLinksOutcomeInvariantAcrossShardCounts) {
+  ShardEchoOptions opt;
+  opt.per_host_propagation = {200, 5000};
+  ShardSignature plain = run_plain_echo(opt);
+  ShardSignature one = run_sharded_echo(1, 1, opt);
+  EXPECT_EQ(one, plain) << "heterogeneous group-of-one diverged from plain";
+  CausalSignature two = causal_part(run_sharded_echo(2, 1, opt));
+  CausalSignature four = causal_part(run_sharded_echo(4, 1, opt));
+  EXPECT_EQ(two, causal_part(one)) << "heterogeneous diverged at 2 shards";
+  EXPECT_EQ(four, causal_part(one)) << "heterogeneous diverged at 4 shards";
+  EXPECT_EQ(run_sharded_echo(4, 4, opt), run_sharded_echo(4, 1, opt))
+      << "heterogeneous: parallel diverged from serial stepping";
+  EXPECT_GT(one.bytes_echoed, 0u);
+}
+
+// The point of the matrix: same simulation, same digests, fewer (never
+// more) epochs than the scalar group-wide bound.  Uniform links already
+// benefit — host<->host pairs relay through the switch shard, so their
+// closure entries are 2x the scalar lookahead.
+TEST(Sharding, MatrixLookaheadNeedsNoMoreEpochsThanScalar) {
+  ShardEchoOptions opt;
+  GroupStats matrix{};
+  GroupStats scalar{};
+  ShardSignature m = run_sharded_echo(4, 1, opt, &matrix);
+  opt.scalar_lookahead = true;
+  ShardSignature s = run_sharded_echo(4, 1, opt, &scalar);
+  EXPECT_EQ(causal_part(m), causal_part(s))
+      << "lookahead mode changed the simulated outcome";
+  EXPECT_GT(scalar.epochs, 0u);
+  EXPECT_LE(matrix.epochs, scalar.epochs)
+      << "per-edge bounds must never need more barriers than the scalar";
 }
 
 TEST(QueueOrder, RandomInterleavingsMatchNaiveReference) {

@@ -1,5 +1,6 @@
 // ulsan fixture: shard-affinity violations — post_remote outside the
-// sanctioned link rehoming path, plus handle-smuggling captures.
+// sanctioned link rehoming path, handle-smuggling captures, and a
+// hand-written lookahead-matrix entry outside net::Link.
 struct Frame;
 struct FramePool;
 struct ShardGroup;
@@ -7,4 +8,10 @@ struct ShardGroup;
 void bad_hop(ShardGroup& group, FramePool& pool, Frame& frame) {
   group.post_remote(0, 1, 100, [&frame] { (void)frame; });
   group.post_remote(0, 1, 200, [&pool] { (void)pool; });
+}
+
+void bad_edge(ShardGroup& group) {
+  // Overstates the link latency "to batch harder" — exactly the unsound
+  // write the rule exists to catch.
+  group.register_edge_lookahead(0, 1, 1'000'000);
 }
