@@ -800,6 +800,51 @@ double measure_scale_web_evps(const StackChoice& stack, std::size_t hosts,
   return g_last_host_perf.events_per_sec;
 }
 
+double measure_scale_c10k_reqps(const StackChoice& stack, bool ring,
+                                std::size_t connections_per_host,
+                                std::size_t shards, unsigned threads,
+                                std::size_t reap_batch) {
+  ScaleC10kOptions opt;
+  opt.ring_server = ring;
+  opt.connections_per_host = connections_per_host;
+  opt.shards = shards;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  opt.threads = std::min({static_cast<unsigned>(threads), hw,
+                          static_cast<unsigned>(shards)});
+  opt.reap_batch = reap_batch;
+  ScaleC10k scale(sim::calibrated_cost_model(), stack.cfg(), opt);
+  g_run_t0 = std::chrono::steady_clock::now();
+  scale.run(stack.kind() == StackChoice::Kind::kTcp
+                ? Cluster::StackKind::kTcp
+                : Cluster::StackKind::kSubstrate);
+  const auto wall = std::chrono::steady_clock::now() - g_run_t0;
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  const std::uint64_t events = scale.group().events_executed();
+  g_last_host_perf.wall_ms = static_cast<double>(wall_ns) / 1e6;
+  g_last_host_perf.events = events;
+  g_last_host_perf.events_per_sec =
+      wall_ns > 0
+          ? static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns)
+          : 0.0;
+  g_total_events.fetch_add(events, std::memory_order_relaxed);
+  g_total_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  g_last_metrics = merged_shard_metrics(scale.group());
+  std::uint64_t prev = g_shards.load(std::memory_order_relaxed);
+  while (prev < shards && !g_shards.compare_exchange_weak(
+                              prev, shards, std::memory_order_relaxed)) {
+  }
+  unsigned prev_t = g_resolved_threads.load(std::memory_order_relaxed);
+  while (prev_t < opt.threads &&
+         !g_resolved_threads.compare_exchange_weak(prev_t, opt.threads,
+                                                   std::memory_order_relaxed)) {
+  }
+  // The measured quantity: application requests served per wall second.
+  return wall_ns > 0 ? static_cast<double>(scale.requests_served()) * 1e9 /
+                           static_cast<double>(wall_ns)
+                     : 0.0;
+}
+
 double measure_matmul_ms(const StackChoice& stack, std::size_t n) {
   Engine eng;
   Cluster cl(eng, sim::calibrated_cost_model(), 4, stack.cfg());

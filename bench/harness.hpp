@@ -255,6 +255,22 @@ class BenchResults {
                                             std::size_t requests_per_client,
                                             bool scalar_lookahead = false);
 
+/// Served requests per wall-clock second of the C10K concurrency workload
+/// (bench/scale.hpp ScaleC10k): 3 client hosts x `connections_per_host`
+/// simultaneous connections against one server, ring (`ring = true`) or
+/// blocking.  Requests-per-second, not events-per-second, is the gated
+/// quantity: the ring server exists to do the same application work with
+/// FEWER engine events (one parked pump instead of a per-connection
+/// thundering herd), so comparing evps would reward the wasteful server.
+/// last_run_metrics() afterwards carries the merged snapshot including the
+/// ring/batch_size, ring/reap_wait_ns and ring/sqe_inflight instruments.
+[[nodiscard]] double measure_scale_c10k_reqps(const StackChoice& stack,
+                                              bool ring,
+                                              std::size_t connections_per_host,
+                                              std::size_t shards = 1,
+                                              unsigned threads = 1,
+                                              std::size_t reap_batch = 64);
+
 /// Pretty size label ("4", "1K", "64K").
 [[nodiscard]] std::string size_label(std::size_t bytes);
 

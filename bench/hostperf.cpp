@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "harness.hpp"
@@ -82,12 +83,22 @@ int main(int argc, char** argv) {
   const std::size_t ftp_bytes = smoke ? (512ul << 10) : (24ul << 20);
   const int lat_iters = smoke ? opt.iters : 2000;
   const std::size_t scale_requests = smoke ? 8 : 192;
+  // C10K: 3 client hosts x 334 connections ~ 1000 concurrent against one
+  // server.  Small credit window / staging buffers keep the descriptor
+  // memory of a thousand live connections bounded (credits=4 is the
+  // paper's web-server setting).
+  const std::size_t c10k_conns = smoke ? 8 : 334;
+  sockets::SubstrateConfig c10k_cfg = sockets::preset("ds_da_uq").cfg;
+  c10k_cfg.credits = 4;
+  c10k_cfg.buffer_bytes = 2048;
+  const auto c10k = StackChoice::substrate(c10k_cfg, "c10k credits=4");
 
   struct Scenario {
     const char* name;
     const StackChoice* stack;
     const char* x;
     std::function<double()> job;
+    const char* unit = "evps";
   };
   const std::vector<Scenario> scenarios = {
       // Large-message streaming drained with the zero-copy read_view API:
@@ -123,22 +134,49 @@ int main(int argc, char** argv) {
          return measure_scale_web_evps(ds, 16, opt.shards_or(4), 4,
                                        scale_requests, /*scalar=*/true);
        }},
+      // C10K ring-vs-blocking: identical traffic (~1000 simultaneous
+      // connections), two servers.  The gated quantity is requests served
+      // per wall second — the ring's point is doing the same application
+      // work with fewer engine events (one parked pump vs a thundering
+      // herd), so events/sec would reward the blocking server's waste.
+      // check_hostperf.py asserts ring >= blocking.
+      {"scale_c10k", &c10k, "ring",
+       [&] { return measure_scale_c10k_reqps(c10k, true, c10k_conns); },
+       "reqps"},
+      {"scale_c10k", &c10k, "blocking",
+       [&] { return measure_scale_c10k_reqps(c10k, false, c10k_conns); },
+       "reqps"},
+      // The ring server composes with the sharded engine: same workload
+      // partitioned over 4 shards.
+      {"scale_c10k", &c10k, "ring_4shards",
+       [&] {
+         return measure_scale_c10k_reqps(c10k, true, c10k_conns,
+                                         opt.shards_or(4), 4);
+       },
+       "reqps"},
   };
 
   sim::ResultTable table({"scenario", "stack", "Mev/s", "wall_ms"});
   for (const auto& sc : scenarios) {
     HostPerf best{};
     std::map<std::string, std::int64_t> best_metrics;
+    // evps scenarios record the run's host events/sec; other units (the
+    // C10K reqps points) record the job's own return value.  Best-of-N
+    // picks by the recorded quantity either way.
+    const bool evps = std::string_view(sc.unit) == "evps";
+    double best_value = -1.0;
     for (int r = 0; r < reps; ++r) {
-      (void)sc.job();
+      const double ret = sc.job();
       const HostPerf& p = last_run_host_perf();
-      if (p.events_per_sec > best.events_per_sec) {
+      const double value = evps ? p.events_per_sec : ret;
+      if (value > best_value) {
+        best_value = value;
         best = p;
         best_metrics = last_run_metrics();
       }
     }
     results.add(sc.name, sc.stack->name(), sc.stack->config_label(), sc.x,
-                best.events_per_sec, "evps", best_metrics);
+                best_value, sc.unit, best_metrics);
     table.add_row({sc.name, sc.stack->name(),
                    sim::ResultTable::num(best.events_per_sec / 1e6, 2),
                    sim::ResultTable::num(best.wall_ms, 1)});

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Gate simulator host throughput against the committed baseline.
 
-Compares the events/sec ("evps") points of a freshly produced
+Compares the wall-clock throughput points — events/sec ("evps") and the
+C10K workload's requests/sec ("reqps") — of a freshly produced
 BENCH_hostperf.json with bench/baselines/BENCH_hostperf.json and fails if
 any scenario regressed by more than the allowed fraction (default 25%).
 
@@ -28,6 +29,13 @@ host_perf.resolved_threads in the CURRENT run is > 1 (the bench clamps its
 workers to the hardware, so resolved_threads == 1 means a single-core host
 where the 4-shard point measures epoch overhead, not parallelism, and the
 plain 25% regression gate is the only meaningful bound).
+
+The C10K scenario has a structural gate of its own: scale_c10k records the
+same ~1000-connection traffic served by the ring server (one parked reap
+pump) and the blocking server (one parked coroutine per connection), and
+the ring point must serve at least as many requests per wall second as the
+blocking point — the batched submit/reap API exists to beat the thundering
+herd, so losing to it is a regression in the ring path, not noise.
 
 Epoch counts are checked on every host, single-core included: each evps
 point carries its "shard/epochs" metric, reported per scenario, and a
@@ -57,15 +65,23 @@ BYTES_COPIED_MAX_RATIO = 1.10
 # Required 4-shard/1-shard events/sec ratio on multi-core hosts.
 SHARD_SERIES = "scale_web_16hosts"
 MIN_SHARD_SPEEDUP = 2.0
+# The completion-ring server must at least match the blocking server on
+# identical C10K traffic (requests per wall second).
+C10K_SERIES = "scale_c10k"
 
 
 def evps_points(path):
-    """(series, x) -> (events_per_sec, bytes_copied or None, epochs or None)."""
+    """(series, x) -> (value, bytes_copied or None, epochs or None).
+
+    Covers every wall-clock throughput unit: simulator events/sec ("evps")
+    and the C10K scenarios' application requests/sec ("reqps") — both gate
+    identically against the baseline.
+    """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     points = {}
     for p in doc.get("points", []):
-        if p.get("unit") == "evps":
+        if p.get("unit") in ("evps", "reqps"):
             metrics = p.get("metrics", {})
             copied = metrics.get("host/bytes_copied")
             epochs = metrics.get("shard/epochs")
@@ -99,6 +115,21 @@ def check_shard_speedup(current, current_path):
           f"resolved_threads={threads})")
     if speedup < MIN_SHARD_SPEEDUP:
         return [(SHARD_SERIES, "4shards-speedup", speedup)]
+    return []
+
+
+def check_c10k_ring(current):
+    """Ring server must serve >= the blocking server's reqps."""
+    ring = current.get((C10K_SERIES, "ring"))
+    blocking = current.get((C10K_SERIES, "blocking"))
+    if ring is None or blocking is None:
+        return []
+    ratio = ring[0] / blocking[0] if blocking[0] > 0 else float("inf")
+    status = "OK " if ratio >= 1.0 else "FAIL"
+    print(f"{status} {C10K_SERIES:<16} ring/blocking reqps ratio {ratio:5.2f} "
+          f"(required >= 1.00)")
+    if ratio < 1.0:
+        return [(C10K_SERIES, "ring-vs-blocking", ratio)]
     return []
 
 
@@ -185,6 +216,7 @@ def main(argv):
         print(f"NOTE: new scenario {key[0]}/{key[1]} has no baseline; "
               f"refresh with: cp {current_path} {baseline_path}")
     failures.extend(check_shard_speedup(current, current_path))
+    failures.extend(check_c10k_ring(current))
     failures.extend(check_epochs(current))
 
     if failures:

@@ -13,6 +13,13 @@ with two utility layers importable from everywhere:
   observations are stamped with simulated time — but nothing else from
   sim; ``sim`` in turn owns the registries and may include ``obs``.
 
+``oskernel`` is the user-visible OS surface: alongside processes and the
+blocking ``SocketApi``, it declares the completion-ring interface
+(``oskernel/ring.hpp`` — SQE/CQE records and the abstract ``OpRing``).
+Those are interface-only headers; the stacks above implement them
+(``sockets/ring.cpp``), so the dependency arrow still points downward —
+``sockets`` includes ``oskernel``, never the reverse.
+
 Concretely, each importer directory may include only the directories
 listed for it below (SimBricks-style interface discipline: a lower layer
 that reaches up stops being composable, and a sideways include between

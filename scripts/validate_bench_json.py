@@ -110,6 +110,21 @@ def validate(path):
             # snapshot and would silently escape the zero-copy gate.
             if "host/bytes_copied" not in metrics:
                 err(f"{where}.metrics missing required 'host/bytes_copied'")
+            # Ring scenarios (x starting with "ring") must carry the
+            # OpRing instruments — a ring point without them ran the
+            # blocking server by mistake and the ring-vs-blocking gate
+            # would silently compare blocking against blocking.
+            if isinstance(p.get("x"), str) and p["x"].startswith("ring"):
+                for path_prefix in (
+                    "ring/batch_size/",
+                    "ring/reap_wait_ns/",
+                ):
+                    if not any(k.startswith(path_prefix) for k in metrics):
+                        err(f"{where}.metrics missing ring instrument "
+                            f"'{path_prefix}*' on ring scenario")
+                if "ring/sqe_inflight" not in metrics:
+                    err(f"{where}.metrics missing required "
+                        "'ring/sqe_inflight' on ring scenario")
     return errors
 
 

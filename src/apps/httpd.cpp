@@ -1,7 +1,9 @@
 #include "apps/httpd.hpp"
 
+#include <map>
 #include <vector>
 
+#include "oskernel/ring.hpp"
 #include "oskernel/socket_api.hpp"
 
 namespace ulsocks::apps {
@@ -66,7 +68,7 @@ sim::Task<void> web_server(os::Process& proc, os::SocketApi& stack,
                            WebServerOptions options) {
   int ls = co_await proc.socket(stack);
   co_await proc.bind(ls, SockAddr{0, options.port});
-  co_await proc.listen(ls, 8);
+  co_await proc.listen(ls, options.backlog);
   auto& eng = proc.host().engine();
   std::size_t accepted = 0;
   std::size_t completed = 0;
@@ -81,6 +83,123 @@ sim::Task<void> web_server(os::Process& proc, os::SocketApi& stack,
   }
   while (completed < accepted) co_await stack.activity().wait();
   co_await proc.close(ls);
+}
+
+namespace {
+
+/// Per-connection state machine for the ring server.  Exactly one SQE is
+/// in flight per connection at any time, so a close never races a pending
+/// read/write on the same descriptor.
+struct RingConn {
+  int sd = -1;
+  std::vector<std::uint8_t> request =
+      std::vector<std::uint8_t>(kHttpRequestBytes);
+  std::size_t got = 0;  // request bytes accumulated so far
+  std::vector<std::uint8_t> body;
+  std::size_t wrote = 0;  // response bytes already accepted by the stack
+  std::uint32_t served = 0;
+};
+
+}  // namespace
+
+sim::Task<void> web_server_ring(os::Process& proc, os::SocketApi& stack,
+                                WebServerOptions options) {
+  int ls = co_await stack.socket();
+  co_await stack.bind(ls, SockAddr{0, options.port});
+  co_await stack.listen(ls, options.backlog);
+  auto& eng = proc.host().engine();
+
+  os::OpRing ring(eng, stack);
+  // user_data: 0 tags accept CQEs (and the final listener close); ids >= 1
+  // name connections.
+  constexpr std::uint64_t kAcceptTag = 0;
+  std::map<std::uint64_t, RingConn> conns;
+  std::uint64_t next_id = 1;
+
+  const std::size_t window =
+      options.max_connections == 0
+          ? static_cast<std::size_t>(options.backlog)
+          : std::min(static_cast<std::size_t>(options.backlog),
+                     options.max_connections);
+  std::size_t accepts_posted = 0;
+  std::size_t completed = 0;
+
+  auto top_up_accepts = [&] {
+    while ((options.max_connections == 0 ||
+            accepts_posted < options.max_connections) &&
+           accepts_posted - completed - conns.size() < window) {
+      ring.push_accept(ls, kAcceptTag);
+      ++accepts_posted;
+    }
+  };
+
+  top_up_accepts();
+  ring.submit();
+  while (options.max_connections == 0 ||
+         completed < options.max_connections) {
+    for (const os::Cqe& c : co_await ring.reap(1, options.reap_batch)) {
+      if (c.op == os::OpKind::kAccept) {
+        if (c.failed) continue;  // canceled at shutdown
+        std::uint64_t id = next_id++;
+        RingConn& conn = conns[id];
+        conn.sd = static_cast<int>(c.result);
+        ring.push_read(conn.sd, std::span(conn.request), id);
+        top_up_accepts();
+        continue;
+      }
+      if (c.op == os::OpKind::kClose) {
+        if (c.user_data == kAcceptTag) continue;  // listener close
+        conns.erase(c.user_data);
+        ++completed;
+        continue;
+      }
+      RingConn& conn = conns.at(c.user_data);
+      if (c.op == os::OpKind::kRead) {
+        if (c.failed || c.result == 0) {  // client finished early / EOF
+          ring.push_close(conn.sd, c.user_data);
+          continue;
+        }
+        conn.got += static_cast<std::size_t>(c.result);
+        if (conn.got < kHttpRequestBytes) {  // partial request: keep reading
+          ring.push_read(conn.sd,
+                         std::span(conn.request).subspan(conn.got), c.user_data);
+          continue;
+        }
+        std::uint32_t bytes = decode_request_bytes(conn.request.data());
+        conn.body.assign(bytes, 0x42);
+        conn.wrote = 0;
+        ring.push_write(conn.sd, std::span<const std::uint8_t>(conn.body),
+                        c.user_data);
+        continue;
+      }
+      // kWrite: continue the response, next request, or close.
+      if (c.failed) {
+        ring.push_close(conn.sd, c.user_data);
+        continue;
+      }
+      conn.wrote += static_cast<std::size_t>(c.result);
+      if (conn.wrote < conn.body.size()) {
+        ring.push_write(conn.sd,
+                        std::span<const std::uint8_t>(conn.body)
+                            .subspan(conn.wrote),
+                        c.user_data);
+      } else if (++conn.served < options.requests_per_connection) {
+        conn.got = 0;
+        ring.push_read(conn.sd, std::span(conn.request), c.user_data);
+      } else {
+        ring.push_close(conn.sd, c.user_data);
+      }
+    }
+    ring.submit();
+  }
+
+  // Shutdown: closing the listener cancels the still-posted accept window
+  // (failed/kClosed CQEs), then the close CQE itself drains.
+  ring.push_close(ls, kAcceptTag);
+  ring.submit();
+  while (ring.inflight() > 0) {
+    (void)co_await ring.reap(1, options.reap_batch);
+  }
 }
 
 sim::Task<void> web_client(os::Process& proc, os::SocketApi& stack,

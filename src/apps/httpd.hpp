@@ -24,6 +24,12 @@ struct WebServerOptions {
   std::uint32_t requests_per_connection = 1;
   /// Total connections to serve before returning (0 = forever).
   std::size_t max_connections = 0;
+  /// Listen backlog (and, for the ring server, the accept-SQE window kept
+  /// pre-posted on the listener).
+  int backlog = 8;
+  /// Ring server only: max CQEs taken per reap().  Digest-neutral — the
+  /// ring's completion order is batch-size invariant (DESIGN.md §13).
+  std::size_t reap_batch = 64;
 };
 
 /// The server: accepts sequentially and serves each connection to
@@ -31,6 +37,18 @@ struct WebServerOptions {
 [[nodiscard]] sim::Task<void> web_server(os::Process& proc,
                                          os::SocketApi& stack,
                                          WebServerOptions options = {});
+
+/// Event-loop server: ONE task multiplexes every connection over an
+/// os::OpRing — a window of accept SQEs stays pre-posted on the listener,
+/// each connection is a small state machine (read request bytes, write
+/// response bytes, close), and the loop is reap/advance/submit.  Serves
+/// the same protocol as web_server with the same per-connection semantics;
+/// at C10K connection counts it replaces the blocking server's
+/// one-parked-coroutine-per-connection wake storms with a single ring
+/// waiter.
+[[nodiscard]] sim::Task<void> web_server_ring(os::Process& proc,
+                                              os::SocketApi& stack,
+                                              WebServerOptions options = {});
 
 struct WebClientOptions {
   std::uint16_t server_node = 0;

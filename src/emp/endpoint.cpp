@@ -29,6 +29,7 @@ EmpEndpoint::Instruments::Instruments(obs::Scope scope)
       unmatched_drops(scope.counter("unmatched_drops")),
       too_small_drops(scope.counter("too_small_drops")),
       duplicate_frames(scope.counter("duplicate_frames")),
+      stale_frames(scope.counter("stale_frames")),
       reacks(scope.counter("reacks")),
       malformed_frames(scope.counter("malformed_frames")),
       misrouted_frames(scope.counter("misrouted_frames")),
@@ -76,6 +77,7 @@ EmpStats EmpEndpoint::stats() const noexcept {
   s.unmatched_drops = ctr_.unmatched_drops.value();
   s.too_small_drops = ctr_.too_small_drops.value();
   s.duplicate_frames = ctr_.duplicate_frames.value();
+  s.stale_frames = ctr_.stale_frames.value();
   s.reacks = ctr_.reacks.value();
   s.malformed_frames = ctr_.malformed_frames.value();
   s.misrouted_frames = ctr_.misrouted_frames.value();
@@ -660,9 +662,23 @@ void EmpEndpoint::deliver_fragment(Binding binding, const EmpHeader& h,
     received = &binding.recv->frames_received;
     dest_base = binding.recv->buffer;
   } else {
-    got = &binding.unexpected->got;
-    received = &binding.unexpected->frames_received;
-    dest_base = binding.unexpected->buffer.data();
+    // A recv binding's shared handle keeps the descriptor alive, but an
+    // unexpected entry is pool storage: by the time this deferred firmware
+    // work runs, the entry may have completed, been claimed or evicted, and
+    // been re-bound to a DIFFERENT message.  Writing this fragment into the
+    // recycled entry would corrupt the new message (and mark it received),
+    // so a binding whose entry no longer matches the fragment's (src,
+    // msg_id) is dead — drop the fragment.  Per-sender msg_ids never
+    // repeat, so a match is unambiguous; the sender keeps retransmitting
+    // and the live copy re-binds through the normal tag-match path.
+    UnexpectedEntry* u = binding.unexpected;
+    if (!u->bound || u->from != h.src_node || u->msg_id != h.msg_id) {
+      ++ctr_.stale_frames;
+      return;
+    }
+    got = &u->got;
+    received = &u->frames_received;
+    dest_base = u->buffer.data();
   }
 
   if (h.frame_index >= got->size() || (*got)[h.frame_index]) {

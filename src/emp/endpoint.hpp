@@ -59,7 +59,14 @@ struct EmpConfig {
   /// Translation/pin cache capacity, in distinct regions.
   std::size_t translation_cache_capacity = 1024;
   /// Completed (src, msg) pairs remembered for re-acking late duplicates.
-  std::size_t completed_history = 512;
+  /// Must cover every message the endpoint can complete within one
+  /// retransmission horizon: an entry evicted while the sender is still
+  /// retransmitting lets the duplicate re-match a fresh descriptor and be
+  /// delivered twice (observed downstream as credit over-return).  C10K
+  /// workloads complete several thousand messages per retransmit_timeout
+  /// during an accept storm, so the window is sized for that rate with
+  /// margin (~16 B/entry; memory stays trivial).
+  std::size_t completed_history = 16384;
   /// Messages with tags above this never use the unexpected queue.  The
   /// substrate reserves the high-bit tag range for connection requests,
   /// which must be bounded by the pre-posted backlog descriptors alone
@@ -185,6 +192,7 @@ struct EmpStats {
   std::uint64_t unmatched_drops = 0;
   std::uint64_t too_small_drops = 0;
   std::uint64_t duplicate_frames = 0;
+  std::uint64_t stale_frames = 0;
   std::uint64_t reacks = 0;
   std::uint64_t malformed_frames = 0;
   std::uint64_t misrouted_frames = 0;
@@ -329,6 +337,7 @@ class EmpEndpoint {
     obs::Counter& unmatched_drops;
     obs::Counter& too_small_drops;
     obs::Counter& duplicate_frames;
+    obs::Counter& stale_frames;
     obs::Counter& reacks;
     obs::Counter& malformed_frames;
     obs::Counter& misrouted_frames;

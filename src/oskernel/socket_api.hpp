@@ -79,6 +79,30 @@ struct RecvView {
   }
 };
 
+/// Scratch allocations above this are treated as one-off spikes: the next
+/// smaller request releases the memory back to the host allocator instead
+/// of keeping the high-water buffer alive for the connection's lifetime.
+/// Ring servers hold one RecvView per connection, so an unbounded scratch
+/// would multiply a single large read across thousands of connections.
+inline constexpr std::size_t kRecvScratchHighWater = 64 * 1024;
+
+/// Size `view.scratch` for a `max_bytes` receive, capping retained growth
+/// at kRecvScratchHighWater.  Returns the scratch size in bytes, which the
+/// stack reports through note_recv_scratch() (the "host/recv_scratch_hwm"
+/// gauge).  Host-side memory management only: no simulated cost, no
+/// digest impact.
+inline std::size_t ensure_recv_scratch(RecvView& view, std::size_t max_bytes) {
+  if (view.scratch.size() < max_bytes) {
+    view.scratch.resize(max_bytes);
+  } else if (view.scratch.size() > kRecvScratchHighWater &&
+             max_bytes <= kRecvScratchHighWater) {
+    // Shrink-to-request: drop the spike, keep at most the high-water mark.
+    std::vector<std::uint8_t>(std::max(max_bytes, std::size_t{1}))
+        .swap(view.scratch);
+  }
+  return view.scratch.size();
+}
+
 /// A blocking BSD-style sockets interface.  All calls are coroutines in
 /// simulated time; errors are reported as SocketError.
 class SocketApi {
@@ -118,7 +142,7 @@ class SocketApi {
   [[nodiscard]] virtual sim::Task<std::size_t> read_view(
       int sd, RecvView& view, std::size_t max_bytes) {
     view.reset();
-    if (view.scratch.size() < max_bytes) view.scratch.resize(max_bytes);
+    note_recv_scratch(ensure_recv_scratch(view, max_bytes));
     std::size_t n =
         co_await read(sd, std::span<std::uint8_t>(view.scratch.data(),
                                                   max_bytes));
@@ -143,10 +167,38 @@ class SocketApi {
                                                    int value) = 0;
   [[nodiscard]] virtual sim::Task<int> get_option(int sd, SockOpt opt) = 0;
 
-  /// select() support: non-blocking readability probe plus a condition
+  /// select()/ring support: non-blocking readiness probes plus a condition
   /// variable notified on any socket state change in this stack.
+  /// readable(sd) true means the next read()/accept() completes without
+  /// parking on activity(); writable(sd) true means the next write()
+  /// accepts at least one byte without parking for buffer space or
+  /// flow-control credits.  Both also return true when the operation would
+  /// fail immediately (reset, closed peer), mirroring POSIX select(),
+  /// which marks error'd descriptors ready so the caller collects the
+  /// error from the call itself.
   [[nodiscard]] virtual bool readable(int sd) const = 0;
+  [[nodiscard]] virtual bool writable(int sd) const = 0;
   [[nodiscard]] virtual sim::CondVar& activity() = 0;
+
+  /// Non-blocking batched accept: drain up to `max` already-arrived
+  /// connection requests from listener `sd` into `out` (and, when `peers`
+  /// is non-null, the matching client addresses), returning how many were
+  /// accepted.  Never parks waiting for a request (a request may still pay
+  /// its normal handshake costs in simulated time).  The default loops
+  /// readable()+accept(); stacks with a scannable backlog override it to
+  /// take one pass over their pre-posted descriptors.
+  [[nodiscard]] virtual sim::Task<std::size_t> accept_many(
+      int sd, std::size_t max, std::vector<int>& out,
+      std::vector<SockAddr>* peers = nullptr) {
+    std::size_t n = 0;
+    while (n < max && readable(sd)) {
+      SockAddr peer{};
+      out.push_back(co_await accept(sd, &peer));
+      if (peers != nullptr) peers->push_back(peer);
+      ++n;
+    }
+    co_return n;
+  }
 
   /// Convenience: write the whole buffer.
   [[nodiscard]] sim::Task<void> write_all(int sd,
@@ -170,6 +222,12 @@ class SocketApi {
       done += n;
     }
   }
+
+ protected:
+  /// Scratch-size report from the read_view path; stacks override to feed
+  /// the "host/recv_scratch_hwm" gauge (the interface itself has no
+  /// metrics registry to write to).
+  virtual void note_recv_scratch(std::size_t /*bytes*/) {}
 };
 
 }  // namespace ulsocks::os

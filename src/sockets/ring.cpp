@@ -1,0 +1,357 @@
+// OpRing implementation.
+//
+// Lives in the sockets library (not oskernel) because the ring's whole
+// point is the substrate mapping: accept SQEs drain the listener's
+// pre-posted connection descriptors through accept_many() in one pass, and
+// readiness probes inspect the credit/descriptor state the substrate
+// already keeps per §5.4.  The same code drives the kernel TCP stack
+// unchanged through the identical SocketApi virtuals — that is the
+// ring-vs-blocking and substrate-vs-TCP ablation surface.
+//
+// Scheduling discipline (the determinism argument, DESIGN.md §13):
+//   * submit() and every host-side decision below run inside the caller's
+//     current engine event and cost zero simulated time and zero scheduler
+//     events.
+//   * Drivers are started inline via the resume trampoline
+//     (sim::detail::resume_chain), in submission-sequence order, and only
+//     when the readiness probe says the stack call will not park — so the
+//     stack's activity() condition variable holds at most ONE ring waiter
+//     (the pump), never one per operation.
+//   * CQEs are appended as operations complete and sorted by
+//     (completion_time, seq) at reap; seq is the submission order, so ties
+//     at one timestamp are resolved identically no matter how completions
+//     interleaved.
+
+#include "oskernel/ring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ulsocks::os {
+
+OpRing::OpRing(sim::Engine& eng, SocketApi& stack)
+    : eng_(eng),
+      stack_(stack),
+      cqe_cv_(eng),
+      batch_size_(eng.metrics().histogram("ring/batch_size")),
+      reap_wait_ns_(eng.metrics().histogram("ring/reap_wait_ns")),
+      sqe_inflight_(eng.metrics().gauge("ring/sqe_inflight")) {}
+
+// --- Submission-side helpers ----------------------------------------------
+
+void OpRing::push(Sqe sqe) {
+  auto op = std::make_unique<Op>();
+  op->sqe = sqe;
+  op->seq = next_seq_++;
+  staged_.push_back(std::move(op));
+}
+
+void OpRing::push_accept(int sd, std::uint64_t user_data) {
+  Sqe s;
+  s.op = OpKind::kAccept;
+  s.sd = sd;
+  s.user_data = user_data;
+  push(s);
+}
+
+void OpRing::push_read(int sd, std::span<std::uint8_t> buf,
+                       std::uint64_t user_data) {
+  Sqe s;
+  s.op = OpKind::kRead;
+  s.sd = sd;
+  s.user_data = user_data;
+  s.read_buf = buf;
+  push(s);
+}
+
+void OpRing::push_read_view(int sd, RecvView& view, std::size_t max_bytes,
+                            std::uint64_t user_data) {
+  Sqe s;
+  s.op = OpKind::kReadView;
+  s.sd = sd;
+  s.user_data = user_data;
+  s.view = &view;
+  s.max_bytes = max_bytes;
+  push(s);
+}
+
+void OpRing::push_write(int sd, std::span<const std::uint8_t> buf,
+                        std::uint64_t user_data) {
+  Sqe s;
+  s.op = OpKind::kWrite;
+  s.sd = sd;
+  s.user_data = user_data;
+  s.write_buf = buf;
+  push(s);
+}
+
+void OpRing::push_close(int sd, std::uint64_t user_data) {
+  Sqe s;
+  s.op = OpKind::kClose;
+  s.sd = sd;
+  s.user_data = user_data;
+  push(s);
+}
+
+// --- Doorbell -------------------------------------------------------------
+
+void OpRing::submit() {
+  if (fatal_) std::rethrow_exception(fatal_);
+  if (staged_.empty()) return;
+  batch_size_.observe(staged_.size());
+
+  // Move the batch into the pending map (staged_ is already in seq order)
+  // and remember which closes it carried.
+  std::vector<std::pair<int, std::uint64_t>> closes;  // (sd, seq)
+  for (auto& op : staged_) {
+    if (op->sqe.op == OpKind::kClose) closes.emplace_back(op->sqe.sd, op->seq);
+    std::uint64_t seq = op->seq;
+    pending_.emplace(seq, std::move(op));
+  }
+  staged_.clear();
+  if (static_cast<std::int64_t>(pending_.size()) > sqe_inflight_.value()) {
+    sqe_inflight_.set(static_cast<std::int64_t>(pending_.size()));
+  }
+
+  // A close SQE cancels every not-yet-started SQE on the same descriptor
+  // (io_uring's -ECANCELED on ring teardown, scoped per fd): they complete
+  // with failed/kClosed at the doorbell timestamp, before the close runs.
+  for (const auto& [sd, seq] : closes) cancel_unstarted(sd, seq);
+
+  start_ready();
+  ensure_pump();
+  prune_drivers();
+}
+
+bool OpRing::has_unstarted() const noexcept {
+  for (const auto& [seq, op] : pending_) {
+    if (!op->started) return true;
+  }
+  return false;
+}
+
+void OpRing::start_ready() {
+  // Snapshot the unstarted seqs: drivers started below may erase pending_
+  // entries (inline completion) before the scan finishes.
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(pending_.size());
+  for (const auto& [seq, op] : pending_) {
+    if (!op->started) seqs.push_back(seq);
+  }
+  for (std::uint64_t seq : seqs) {
+    auto it = pending_.find(seq);
+    if (it == pending_.end() || it->second->started) continue;
+    Op* op = it->second.get();
+    switch (op->sqe.op) {
+      case OpKind::kAccept: {
+        if (!stack_.readable(op->sqe.sd)) continue;
+        // Group every unstarted accept on this listener (op is the
+        // earliest: the scan runs in seq order) into one accept_many pass
+        // over the pre-posted connection descriptors.
+        std::vector<Op*> group;
+        for (std::uint64_t s2 : seqs) {
+          if (s2 < seq) continue;
+          auto it2 = pending_.find(s2);
+          if (it2 == pending_.end() || it2->second->started) continue;
+          Op* o2 = it2->second.get();
+          if (o2->sqe.op != OpKind::kAccept || o2->sqe.sd != op->sqe.sd) {
+            continue;
+          }
+          o2->started = true;
+          group.push_back(o2);
+        }
+        int sd = op->sqe.sd;
+        drivers_.push_back(drive_accepts(sd, std::move(group)));
+        sim::detail::resume_chain(drivers_.back().handle());
+        break;
+      }
+      case OpKind::kRead:
+      case OpKind::kReadView:
+        if (!stack_.readable(op->sqe.sd)) continue;
+        start_op(op);
+        break;
+      case OpKind::kWrite:
+        if (!stack_.writable(op->sqe.sd)) continue;
+        start_op(op);
+        break;
+      case OpKind::kClose:
+        // close() never waits for readiness; it is the wake-up that
+        // resolves everything else parked on this descriptor.
+        start_op(op);
+        break;
+    }
+  }
+}
+
+void OpRing::start_op(Op* op) {
+  op->started = true;
+  drivers_.push_back(drive(op));
+  sim::detail::resume_chain(drivers_.back().handle());
+}
+
+void OpRing::ensure_pump() {
+  if (pump_running_ || !has_unstarted()) return;
+  pump_task_ = pump();  // any previous pump frame is done; safe to replace
+  pump_running_ = true;
+  sim::detail::resume_chain(pump_task_.handle());
+}
+
+void OpRing::prune_drivers() {
+  if (drivers_.size() < 64) return;
+  std::erase_if(drivers_, [](const sim::Task<void>& t) { return t.done(); });
+}
+
+// --- Completion-side helpers ----------------------------------------------
+
+void OpRing::finish(Op* op, std::int64_t result, SockAddr peer) {
+  Cqe c;
+  c.user_data = op->sqe.user_data;
+  c.op = op->sqe.op;
+  c.sd = op->sqe.sd;
+  c.result = result;
+  c.completion_time = eng_.now();
+  c.seq = op->seq;
+  c.peer = peer;
+  pending_.erase(op->seq);  // destroys *op
+  ready_.push_back(c);
+  cqe_cv_.notify_all();
+}
+
+void OpRing::fail(Op* op, SockErr error) {
+  Cqe c;
+  c.user_data = op->sqe.user_data;
+  c.op = op->sqe.op;
+  c.sd = op->sqe.sd;
+  c.result = -1;
+  c.error = error;
+  c.failed = true;
+  c.completion_time = eng_.now();
+  c.seq = op->seq;
+  pending_.erase(op->seq);  // destroys *op
+  ready_.push_back(c);
+  cqe_cv_.notify_all();
+}
+
+void OpRing::cancel_unstarted(int sd, std::uint64_t except_seq) {
+  std::vector<Op*> victims;
+  for (const auto& [seq, op] : pending_) {
+    if (seq == except_seq || op->started) continue;
+    if (op->sqe.sd != sd || op->sqe.op == OpKind::kClose) continue;
+    victims.push_back(op.get());
+  }
+  for (Op* op : victims) fail(op, SockErr::kClosed);
+}
+
+// --- Drivers --------------------------------------------------------------
+
+sim::Task<void> OpRing::drive(Op* op) {
+  // Cache what the post-completion path needs: finish()/fail() destroy *op.
+  const OpKind kind = op->sqe.op;
+  const int sd = op->sqe.sd;
+  try {
+    switch (kind) {
+      case OpKind::kRead: {
+        std::size_t n = co_await stack_.read(sd, op->sqe.read_buf);
+        finish(op, static_cast<std::int64_t>(n));
+        break;
+      }
+      case OpKind::kReadView: {
+        std::size_t n =
+            co_await stack_.read_view(sd, *op->sqe.view, op->sqe.max_bytes);
+        finish(op, static_cast<std::int64_t>(n));
+        break;
+      }
+      case OpKind::kWrite: {
+        std::size_t n = co_await stack_.write(sd, op->sqe.write_buf);
+        finish(op, static_cast<std::int64_t>(n));
+        break;
+      }
+      case OpKind::kClose: {
+        co_await stack_.close(sd);
+        finish(op, 0);
+        // Post-close sweep: SQEs that reverted to unstarted while the
+        // close ran (e.g. an accept batch cut short) can never become
+        // ready now; cancel them rather than leaving them parked forever.
+        cancel_unstarted(sd, ~std::uint64_t{0});
+        break;
+      }
+      case OpKind::kAccept:
+        // Accepts always go through drive_accepts().
+        fail(op, SockErr::kInvalid);
+        break;
+    }
+  } catch (const SocketError& e) {
+    fail(op, e.code());
+  } catch (...) {
+    // Invariant violations and other non-socket errors must not vanish
+    // into a detached frame: surface them at the next submit()/reap().
+    fatal_ = std::current_exception();
+    fail(op, SockErr::kInvalid);
+  }
+}
+
+sim::Task<void> OpRing::drive_accepts(int sd, std::vector<Op*> ops) {
+  std::vector<int> fds;
+  std::vector<SockAddr> peers;
+  try {
+    co_await stack_.accept_many(sd, ops.size(), fds, &peers);
+  } catch (const SocketError& e) {
+    for (Op* op : ops) fail(op, e.code());
+    co_return;
+  } catch (...) {
+    fatal_ = std::current_exception();
+    for (Op* op : ops) fail(op, SockErr::kInvalid);
+    co_return;
+  }
+  // Completed accepts map to SQEs in submission order; the rest revert to
+  // pending-unstarted and wait for the next readiness round (or for a
+  // close to cancel them).
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i < fds.size()) {
+      finish(ops[i], fds[i], i < peers.size() ? peers[i] : SockAddr{});
+    } else {
+      ops[i]->started = false;
+    }
+  }
+  if (fds.size() < ops.size()) ensure_pump();
+}
+
+sim::Task<void> OpRing::pump() {
+  // The ring's only standing waiter on the stack: one scheduler event per
+  // stack state change, independent of how many SQEs are outstanding.
+  // Scan BEFORE the first park: readiness may have arrived while no pump
+  // was listening (e.g. while an accept batch was in flight and its
+  // leftovers had not yet reverted), and that notification is gone.
+  while (!fatal_) {
+    start_ready();
+    if (!has_unstarted()) break;
+    co_await stack_.activity().wait();
+  }
+  pump_running_ = false;
+}
+
+// --- Reap -----------------------------------------------------------------
+
+sim::Task<std::vector<Cqe>> OpRing::reap(std::size_t min, std::size_t max) {
+  if (fatal_) std::rethrow_exception(fatal_);
+  min = std::min(min, max);
+  const sim::Time t0 = eng_.now();
+  while (ready_.size() < min && !pending_.empty()) {
+    co_await cqe_cv_.wait();
+    if (fatal_) std::rethrow_exception(fatal_);
+  }
+  reap_wait_ns_.observe(eng_.now() - t0);
+  std::sort(ready_.begin(), ready_.end(), [](const Cqe& a, const Cqe& b) {
+    if (a.completion_time != b.completion_time) {
+      return a.completion_time < b.completion_time;
+    }
+    return a.seq < b.seq;
+  });
+  std::size_t n = std::min(max, ready_.size());
+  std::vector<Cqe> out(ready_.begin(),
+                       ready_.begin() + static_cast<std::ptrdiff_t>(n));
+  ready_.erase(ready_.begin(), ready_.begin() + static_cast<std::ptrdiff_t>(n));
+  co_return out;
+}
+
+}  // namespace ulsocks::os

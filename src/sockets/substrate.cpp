@@ -62,6 +62,7 @@ EmpSocketStack::EmpSocketStack(sim::Engine& eng, const sim::CostModel& model,
       ctr_(obs::Scope(eng.metrics(),
                       "h" + std::to_string(ep.node_id()) + "/sockets")),
       bytes_copied_(eng.metrics().counter("host/bytes_copied")),
+      recv_scratch_hwm_(eng.metrics().gauge("host/recv_scratch_hwm")),
       tracer_(eng.tracer()),
       trk_(eng.tracer().track("h" + std::to_string(ep.node_id()), "sockets")),
       inv_check_(eng.checks(), "sockets.substrate",
@@ -256,7 +257,7 @@ sim::Task<void> EmpSocketStack::listen(int sd, int backlog) {
   // reliability, bounding simultaneous un-accepted connections.
   s->arena = get_arena(static_cast<std::size_t>(s->backlog) * 64);
   for (int i = 0; i < s->backlog; ++i) {
-    auto slot = std::make_unique<Slot>();
+    auto slot = std::make_shared<Slot>();
     slot->buffer = std::span(s->arena).subspan(
         static_cast<std::size_t>(i) * 64, 64);
     slot->handle = co_await ep_.post_recv(std::nullopt,
@@ -394,6 +395,48 @@ sim::Task<void> EmpSocketStack::connect(int sd, SockAddr remote) {
   activity_.notify_all();
 }
 
+sim::Task<int> EmpSocketStack::complete_accept(const SockPtr& listener,
+                                               Slot& slot, SockAddr* peer) {
+  // Head-of-backlog connection request (§5.1).
+  auto req = decode_conn_request(slot.buffer);
+  // Recycle the descriptor so the backlog depth is maintained.
+  slot.handle = co_await ep_.post_recv(
+      std::nullopt, listen_tag(listener->local.port), slot.buffer);
+  if (!req) co_return -1;  // malformed request: drop
+
+  auto child = std::make_shared<Sock>();
+  child->cfg = listener->cfg;
+  // Connection parameters are the initiator's: it pre-posted its side
+  // already and sized the request accordingly.
+  child->cfg.credits = req->credits;
+  child->cfg.buffer_bytes = req->buffer_bytes;
+  child->local = listener->local;
+  child->remote = SockAddr{req->client_node, req->client_port};
+  child->peer_node = req->client_node;
+  child->peer_data = req->data_tag;
+  child->peer_ctrl = req->ctrl_tag;
+  child->peer_rend = req->rend_tag;
+  child->peer_buffer_bytes = req->buffer_bytes;
+  child->send_credits = req->credits;
+  child->owns_tags = false;  // tags live in the initiator's space
+  child->my_data = req->srv_data_tag;
+  child->my_ctrl = req->srv_ctrl_tag;
+  child->my_rend = req->srv_rend_tag;
+  child->established = true;
+  child->state = Sock::State::kConnected;
+  co_await post_connection_resources(child);
+  // No reply message: the initiator already completed its connect on
+  // the EMP ack of the request.
+  int child_sd = next_sd_++;
+  child->sd = child_sd;
+  socks_[child_sd] = child;
+  eng_.spawn(pump(child));
+  ++ctr_.connections_accepted;
+  if (peer != nullptr) *peer = child->remote;
+  if (tracer_.enabled()) tracer_.instant(trk_, eng_.now(), "accept");
+  co_return child_sd;
+}
+
 sim::Task<int> EmpSocketStack::accept(int sd, SockAddr* peer) {
   auto listener = sock(sd);
   if (listener->state != Sock::State::kListening) {
@@ -402,47 +445,40 @@ sim::Task<int> EmpSocketStack::accept(int sd, SockAddr* peer) {
   for (;;) {
     for (auto& slot : listener->conn_slots) {
       if (!ep_.test_recv(slot->handle)) continue;
-      // Head-of-backlog connection request (§5.1).
-      auto req = decode_conn_request(slot->buffer);
-      // Recycle the descriptor so the backlog depth is maintained.
-      slot->handle = co_await ep_.post_recv(
-          std::nullopt, listen_tag(listener->local.port), slot->buffer);
-      if (!req) continue;  // malformed request: drop
-
-      auto child = std::make_shared<Sock>();
-      child->cfg = listener->cfg;
-      // Connection parameters are the initiator's: it pre-posted its side
-      // already and sized the request accordingly.
-      child->cfg.credits = req->credits;
-      child->cfg.buffer_bytes = req->buffer_bytes;
-      child->local = listener->local;
-      child->remote = SockAddr{req->client_node, req->client_port};
-      child->peer_node = req->client_node;
-      child->peer_data = req->data_tag;
-      child->peer_ctrl = req->ctrl_tag;
-      child->peer_rend = req->rend_tag;
-      child->peer_buffer_bytes = req->buffer_bytes;
-      child->send_credits = req->credits;
-      child->owns_tags = false;  // tags live in the initiator's space
-      child->my_data = req->srv_data_tag;
-      child->my_ctrl = req->srv_ctrl_tag;
-      child->my_rend = req->srv_rend_tag;
-      child->established = true;
-      child->state = Sock::State::kConnected;
-      co_await post_connection_resources(child);
-      // No reply message: the initiator already completed its connect on
-      // the EMP ack of the request.
-      int child_sd = next_sd_++;
-      child->sd = child_sd;
-      socks_[child_sd] = child;
-      eng_.spawn(pump(child));
-      ++ctr_.connections_accepted;
-      if (peer != nullptr) *peer = child->remote;
-      if (tracer_.enabled()) tracer_.instant(trk_, eng_.now(), "accept");
+      int child_sd = co_await complete_accept(listener, *slot, peer);
+      if (child_sd < 0) continue;
       co_return child_sd;
     }
     co_await activity_.wait();
   }
+}
+
+sim::Task<std::size_t> EmpSocketStack::accept_many(
+    int sd, std::size_t max, std::vector<int>& out,
+    std::vector<os::SockAddr>* peers) {
+  auto listener = sock(sd);
+  if (listener->state != Sock::State::kListening) {
+    throw SocketError(SockErr::kInvalid, "accept on non-listening socket");
+  }
+  // One pass over the pre-posted backlog descriptors, by index: the repost
+  // inside complete_accept() co_awaits, and close() may clear conn_slots
+  // while we are parked there.
+  std::size_t n = 0;
+  for (std::size_t i = 0; n < max && i < listener->conn_slots.size(); ++i) {
+    if (listener->state != Sock::State::kListening) break;
+    // Shared owner, not a reference into the deque: the slot stays alive
+    // across complete_accept()'s suspension even if close() clears
+    // conn_slots meanwhile.
+    auto slot = listener->conn_slots[i];
+    if (!ep_.test_recv(slot->handle)) continue;
+    SockAddr peer{};
+    int child_sd = co_await complete_accept(listener, *slot, &peer);
+    if (child_sd < 0) continue;
+    out.push_back(child_sd);
+    if (peers != nullptr) peers->push_back(peer);
+    ++n;
+  }
+  co_return n;
 }
 
 sim::Task<void> EmpSocketStack::close(int sd) {
@@ -748,7 +784,7 @@ sim::Task<std::size_t> EmpSocketStack::read_view(int sd, os::RecvView& view,
   // The scratch span doubles as the destination for every path that cannot
   // lend its buffers (legacy mode, datagrams, rendezvous); the sliced
   // streaming path fills `view.parts` instead and never touches it.
-  if (view.scratch.size() < max_bytes) view.scratch.resize(max_bytes);
+  note_recv_scratch(os::ensure_recv_scratch(view, max_bytes));
   std::size_t n = co_await read_impl(
       sd, std::span<std::uint8_t>(view.scratch.data(), max_bytes), &view);
   if (n > 0 && view.parts.empty()) {
@@ -1112,6 +1148,23 @@ bool EmpSocketStack::readable(int sd) const {
     return true;  // a datagram is waiting on the unexpected queue
   }
   return front_data_ready(s) || !s.pending_rend.empty() || s.peer_closed;
+}
+
+bool EmpSocketStack::writable(int sd) const {
+  const SockPtr* sp = find_sock(sd);
+  if (sp == nullptr) return false;
+  const Sock& s = **sp;
+  if (s.state != Sock::State::kConnected || s.local_closed || s.peer_closed) {
+    // write() throws immediately (kInvalid / kClosed): ready in the
+    // select() sense so the caller collects the error from the call.
+    return true;
+  }
+  if (s.cfg.flow == FlowControl::kRendezvous) {
+    // Rendezvous writes are not credit-gated; the handshake itself may
+    // still park transiently, which ring drivers tolerate.
+    return true;
+  }
+  return s.send_credits > 0;
 }
 
 }  // namespace ulsocks::sockets

@@ -75,7 +75,14 @@ class EmpSocketStack final : public os::SocketApi {
   sim::Task<void> set_option(int sd, os::SockOpt opt, int value) override;
   sim::Task<int> get_option(int sd, os::SockOpt opt) override;
   [[nodiscard]] bool readable(int sd) const override;
+  [[nodiscard]] bool writable(int sd) const override;
   [[nodiscard]] sim::CondVar& activity() override { return activity_; }
+  /// One pass over the listener's pre-posted connection descriptors (§5.4):
+  /// every slot with a request already decoded completes in this call, so a
+  /// ring doorbell drains the whole backlog without re-probing per accept.
+  sim::Task<std::size_t> accept_many(
+      int sd, std::size_t max, std::vector<int>& out,
+      std::vector<os::SockAddr>* peers = nullptr) override;
 
   /// Materialize the typed stats view from the registry counters.
   [[nodiscard]] SubstrateStats stats() const noexcept;
@@ -119,7 +126,9 @@ class EmpSocketStack final : public os::SocketApi {
 
     // Listener state.
     int backlog = 0;
-    std::deque<std::unique_ptr<Slot>> conn_slots;
+    // shared_ptr: an acceptor parked inside complete_accept() keeps its
+    // slot alive even if close() clears the deque while it is suspended.
+    std::deque<std::shared_ptr<Slot>> conn_slots;
 
     // Connection state.
     std::vector<std::uint8_t> arena;  // backing store for every slot buffer
@@ -154,6 +163,13 @@ class EmpSocketStack final : public os::SocketApi {
 
   SockPtr& sock(int sd);
   [[nodiscard]] const SockPtr* find_sock(int sd) const;
+
+  /// Complete the connection request sitting in `slot`: repost the
+  /// descriptor, build the child socket, post its resources.  Returns the
+  /// child sd, or -1 for a malformed (dropped) request.  Shared by
+  /// accept() and accept_many().
+  sim::Task<int> complete_accept(const SockPtr& listener, Slot& slot,
+                                 os::SockAddr* peer);
 
   [[nodiscard]] static emp::Tag listen_tag(std::uint16_t port) {
     return static_cast<emp::Tag>(0x8000u | port);
@@ -228,6 +244,7 @@ class EmpSocketStack final : public os::SocketApi {
   sim::CondVar activity_;
   Instruments ctr_;
   obs::Counter& bytes_copied_;  // engine-wide "host/bytes_copied"
+  obs::Gauge& recv_scratch_hwm_;  // engine-wide "host/recv_scratch_hwm"
   obs::Tracer& tracer_;
   std::uint32_t trk_;  // ("h<N>", "sockets") timeline track
 
@@ -256,6 +273,14 @@ class EmpSocketStack final : public os::SocketApi {
   std::vector<std::uint8_t> ctrl_staging_;
   [[nodiscard]] std::span<const std::uint8_t> stage_ctrl(
       std::vector<std::uint8_t> encoded);
+
+  // SocketApi hook: fold scratch sizes into the engine-global
+  // "host/recv_scratch_hwm" high-water gauge.
+  void note_recv_scratch(std::size_t bytes) override {
+    if (static_cast<std::int64_t>(bytes) > recv_scratch_hwm_.value()) {
+      recv_scratch_hwm_.set(static_cast<std::int64_t>(bytes));
+    }
+  }
 
   // Last member: deregisters before the state it inspects is torn down.
   check::ScopedChecker inv_check_;

@@ -38,6 +38,7 @@ TcpStack::TcpStack(sim::Engine& eng, const sim::CostModel& model,
       ctr_(obs::Scope(eng.metrics(),
                       "h" + std::to_string(host.id()) + "/tcp")),
       bytes_copied_(eng.metrics().counter("host/bytes_copied")),
+      recv_scratch_hwm_(eng.metrics().gauge("host/recv_scratch_hwm")),
       tracer_(eng.tracer()),
       trk_(eng.tracer().track("h" + std::to_string(host.id()), "tcp")),
       next_ephemeral_(tunables.ephemeral_base) {
@@ -277,6 +278,19 @@ bool TcpStack::readable(int sd) const {
   const Conn& conn = **c;
   if (conn.state == State::kListen) return !conn.accept_queue.empty();
   return !conn.rcv_buf.empty() || conn.peer_fin || conn.reset;
+}
+
+bool TcpStack::writable(int sd) const {
+  const ConnPtr* c = find_conn(sd);
+  if (c == nullptr) return false;
+  const Conn& conn = **c;
+  if (conn.reset || conn.fin_queued ||
+      (conn.state != State::kEstablished && conn.state != State::kCloseWait)) {
+    // write() throws immediately (kClosed / kInvalid): ready in the
+    // select() sense so the caller collects the error from the call.
+    return true;
+  }
+  return conn.snd_buf.size() < conn.snd_buf_limit;
 }
 
 // ---------------------------------------------------------------------------

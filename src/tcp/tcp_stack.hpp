@@ -80,6 +80,7 @@ class TcpStack final : public os::SocketApi {
   sim::Task<void> set_option(int sd, os::SockOpt opt, int value) override;
   sim::Task<int> get_option(int sd, os::SockOpt opt) override;
   [[nodiscard]] bool readable(int sd) const override;
+  [[nodiscard]] bool writable(int sd) const override;
   [[nodiscard]] sim::CondVar& activity() override { return activity_; }
 
   /// Materialize the typed stats view from the registry counters.
@@ -205,6 +206,14 @@ class TcpStack final : public os::SocketApi {
   sim::CondVar activity_;
   Instruments ctr_;
   obs::Counter& bytes_copied_;  // global host/bytes_copied tally
+  obs::Gauge& recv_scratch_hwm_;  // global "host/recv_scratch_hwm" HWM
+
+  // SocketApi hook: the default read_view() reports its scratch size here.
+  void note_recv_scratch(std::size_t bytes) override {
+    if (static_cast<std::int64_t>(bytes) > recv_scratch_hwm_.value()) {
+      recv_scratch_hwm_.set(static_cast<std::int64_t>(bytes));
+    }
+  }
   obs::Tracer& tracer_;
   std::uint32_t trk_;  // ("h<N>", "tcp") timeline track
 

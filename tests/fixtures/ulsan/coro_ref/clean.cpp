@@ -15,3 +15,21 @@ Task<void> drain(std::deque<Slot>& slots) {
   co_await delay(1);
   slots.front().seq = seq + 1;
 }
+
+// Completion-ring shape, compliant: tag the SQE before the submit await
+// and re-fetch from the queue after resuming.
+struct Sqe {
+  unsigned user_data;
+};
+
+struct Ring {
+  std::deque<Sqe> sq;
+};
+
+Task<void> submit(Ring& ring);
+
+Task<void> push_and_submit(Ring& ring) {
+  unsigned user_data = ring.sq.back().user_data;
+  co_await submit(ring);
+  ring.sq.back().user_data = user_data + 1;
+}

@@ -15,3 +15,22 @@ Task<void> drain(std::deque<Slot>& slots) {
   co_await delay(1);
   slot.seq += 1;
 }
+
+// Completion-ring shape: an SQE reference into the submission queue held
+// across the submit await — the queue can grow (and reallocate) while the
+// coroutine is suspended in the doorbell.
+struct Sqe {
+  unsigned user_data;
+};
+
+struct Ring {
+  std::deque<Sqe> sq;
+};
+
+Task<void> submit(Ring& ring);
+
+Task<void> push_and_submit(Ring& ring) {
+  auto& sqe = ring.sq.back();
+  co_await submit(ring);
+  sqe.user_data = 7;
+}

@@ -15,3 +15,21 @@ Task<void> drain(std::deque<Slot>& slots) {
   co_await delay(1);
   slot.seq += 1;
 }
+
+// Completion-ring shape, suppressed (fixture pretends the SQE slot is
+// stable for the duration of the submit await).
+struct Sqe {
+  unsigned user_data;
+};
+
+struct Ring {
+  std::deque<Sqe> sq;
+};
+
+Task<void> submit(Ring& ring);
+
+Task<void> push_and_submit(Ring& ring) {
+  auto& sqe = ring.sq.back();  // NOLINT(ulsan-coro-ref-across-await)
+  co_await submit(ring);
+  sqe.user_data = 7;
+}

@@ -15,3 +15,21 @@ Task<void> drain(std::deque<Slot>& slots) {
   slot.seq += 1;
   co_await delay(1);
 }
+
+// Completion-ring shape: the SQE reference is consumed before the await,
+// so this suppression covers nothing.
+struct Sqe {
+  unsigned user_data;
+};
+
+struct Ring {
+  std::deque<Sqe> sq;
+};
+
+Task<void> submit(Ring& ring);
+
+Task<void> push_and_submit(Ring& ring) {
+  auto& sqe = ring.sq.back();  // NOLINT(ulsan-coro-ref-across-await)
+  sqe.user_data = 7;
+  co_await submit(ring);
+}
