@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -48,6 +49,10 @@ std::atomic<unsigned> g_pool_threads{1};        // NOLINT
 std::atomic<std::uint64_t> g_shards{1};            // NOLINT
 std::atomic<std::uint64_t> g_epoch_ns{0};          // NOLINT
 std::atomic<unsigned> g_resolved_threads{1};       // NOLINT
+// Per-shard executed-event counts of the last sharded run (any thread);
+// written under a mutex because run_points() workers race to finish.
+std::mutex g_eps_mu;                                  // NOLINT
+std::vector<std::uint64_t> g_events_per_shard;        // NOLINT
 
 /// Call before spawning workload coroutines: starts the wall clock and
 /// turns the tracer on when a trace export is armed, so the whole run is
@@ -117,6 +122,14 @@ std::map<std::string, std::int64_t> merged_shard_metrics(
   // snapshots expose the epoch-size distribution per point.
   for (const auto& [key, v] : group.metrics().snapshot()) out[key] = v;
   return out;
+}
+
+/// Remember the per-shard load split of a sharded run for the host_perf
+/// JSON block (last multi-shard run wins).
+void record_events_per_shard(ulsocks::sim::ShardGroup& group) {
+  if (group.size() <= 1) return;
+  std::lock_guard<std::mutex> lk(g_eps_mu);
+  g_events_per_shard = group.events_executed_per_shard();
 }
 
 /// Peak resident set size of this process, in kilobytes.
@@ -602,6 +615,15 @@ std::string BenchResults::write(const std::string& dir) const {
             std::to_string(g_epoch_ns.load(std::memory_order_relaxed));
     json += ", \"resolved_threads\": " +
             std::to_string(g_resolved_threads.load(std::memory_order_relaxed));
+    {
+      std::lock_guard<std::mutex> lk(g_eps_mu);
+      json += ", \"events_per_shard\": [";
+      for (std::size_t i = 0; i < g_events_per_shard.size(); ++i) {
+        if (i > 0) json += ", ";
+        json += std::to_string(g_events_per_shard[i]);
+      }
+      json += "]";
+    }
     json += "},\n";
   }
   json += "  \"points\": [";
@@ -784,6 +806,7 @@ double measure_scale_web_evps(const StackChoice& stack, std::size_t hosts,
   g_total_events.fetch_add(events, std::memory_order_relaxed);
   g_total_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
   g_last_metrics = merged_shard_metrics(scale.group());
+  record_events_per_shard(scale.group());
   std::uint64_t prev = g_shards.load(std::memory_order_relaxed);
   while (prev < shards && !g_shards.compare_exchange_weak(
                               prev, shards, std::memory_order_relaxed)) {
@@ -792,6 +815,61 @@ double measure_scale_web_evps(const StackChoice& stack, std::size_t hosts,
   // Record what the sharded run actually used (post-clamp), so the JSON
   // says whether this host could demonstrate parallel speedup at all;
   // check_hostperf.py keys its speedup assertion off this.
+  unsigned prev_t = g_resolved_threads.load(std::memory_order_relaxed);
+  while (prev_t < opt.threads &&
+         !g_resolved_threads.compare_exchange_weak(prev_t, opt.threads,
+                                                   std::memory_order_relaxed)) {
+  }
+  return g_last_host_perf.events_per_sec;
+}
+
+double measure_scale_web_hotspot_evps(const StackChoice& stack,
+                                       std::size_t shards, unsigned threads,
+                                       bool rebalance,
+                                       std::size_t hot_requests,
+                                       std::size_t cold_requests) {
+  ScaleWebOptions opt;
+  opt.hosts = 16;
+  opt.shards = shards;
+  // Clients 0 and 4 (hosts 1 and 5) carry the hot load — under the
+  // (i + 1) % shards placement both land on one shard at 4 shards, which
+  // is exactly the skew live rebalancing exists to fix.
+  opt.per_client_requests.assign(opt.hosts - 1, cold_requests);
+  opt.per_client_requests[0] = hot_requests;
+  opt.per_client_requests[4] = hot_requests;
+  opt.rebalance = rebalance;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  opt.threads = std::min({static_cast<unsigned>(threads), hw,
+                          static_cast<unsigned>(shards)});
+  ScaleWeb scale(sim::calibrated_cost_model(), stack.cfg(), opt);
+  g_run_t0 = std::chrono::steady_clock::now();
+  scale.run(stack.kind() == StackChoice::Kind::kTcp
+                ? Cluster::StackKind::kTcp
+                : Cluster::StackKind::kSubstrate);
+  const auto wall = std::chrono::steady_clock::now() - g_run_t0;
+  const auto wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  const std::uint64_t events = scale.group().events_executed();
+  g_last_host_perf.wall_ms = static_cast<double>(wall_ns) / 1e6;
+  g_last_host_perf.events = events;
+  g_last_host_perf.events_per_sec =
+      wall_ns > 0
+          ? static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns)
+          : 0.0;
+  g_total_events.fetch_add(events, std::memory_order_relaxed);
+  g_total_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
+  g_last_metrics = merged_shard_metrics(scale.group());
+  // The migration oracle: identical across shard counts and rebalance
+  // on/off when migration is sound (check_hostperf.py gates on it).  The
+  // int64 cast keeps the uint64 bit pattern, so equality is preserved.
+  g_last_metrics["shard/causal_digest"] =
+      static_cast<std::int64_t>(scale.group().causal_digest());
+  record_events_per_shard(scale.group());
+  std::uint64_t prev = g_shards.load(std::memory_order_relaxed);
+  while (prev < shards && !g_shards.compare_exchange_weak(
+                              prev, shards, std::memory_order_relaxed)) {
+  }
+  g_epoch_ns.store(scale.group().lookahead(), std::memory_order_relaxed);
   unsigned prev_t = g_resolved_threads.load(std::memory_order_relaxed);
   while (prev_t < opt.threads &&
          !g_resolved_threads.compare_exchange_weak(prev_t, opt.threads,
@@ -830,6 +908,7 @@ double measure_scale_c10k_reqps(const StackChoice& stack, bool ring,
   g_total_events.fetch_add(events, std::memory_order_relaxed);
   g_total_wall_ns.fetch_add(wall_ns, std::memory_order_relaxed);
   g_last_metrics = merged_shard_metrics(scale.group());
+  record_events_per_shard(scale.group());
   std::uint64_t prev = g_shards.load(std::memory_order_relaxed);
   while (prev < shards && !g_shards.compare_exchange_weak(
                               prev, shards, std::memory_order_relaxed)) {

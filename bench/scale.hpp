@@ -28,6 +28,17 @@ struct ScaleWebOptions {
   std::uint32_t requests_per_connection = 8;  // HTTP/1.1 style
   std::size_t requests_per_client = 64;
   std::uint64_t seed = 1;
+  // Skewed workloads: when non-empty, client idx (serving host idx+1) runs
+  // per_client_requests[idx % size()] requests instead of the uniform
+  // requests_per_client.  The hotspot bench concentrates ~80% of traffic
+  // on two hosts this way.
+  std::vector<std::size_t> per_client_requests = {};
+  // Live rebalancing: install the greedy-by-event-rate policy (sampled
+  // every rebalance_interval_epochs barrier epochs).  Off = placement
+  // stays static, the A/B baseline the rebalance gates compare against.
+  bool rebalance = false;
+  std::uint64_t rebalance_interval_epochs = 64;
+  double rebalance_hysteresis = 1.5;
   // A/B switch: pin the group to the PR5-era scalar bound (global_min + W)
   // instead of the per-edge lookahead matrix.  Same topology, same traffic
   // — only the epoch schedule differs, so epoch counts are comparable.
@@ -51,6 +62,19 @@ class ScaleWeb {
     if (opt.scalar_lookahead) {
       group_.set_lookahead_mode(sim::ShardGroup::LookaheadMode::kScalar);
     }
+    if (opt.rebalance) {
+      sim::ShardGroup::GreedyRebalanceOptions gopt;
+      gopt.hysteresis = opt.rebalance_hysteresis;
+      group_.set_rebalance_policy(
+          sim::ShardGroup::greedy_rebalance_policy(gopt),
+          opt.rebalance_interval_epochs);
+    }
+  }
+
+  /// Requests client `idx` (host idx + 1) issues this run.
+  [[nodiscard]] std::size_t requests_of_client(std::size_t idx) const {
+    if (opt_.per_client_requests.empty()) return opt_.requests_per_client;
+    return opt_.per_client_requests[idx % opt_.per_client_requests.size()];
   }
 
   [[nodiscard]] sim::ShardGroup& group() { return group_; }
@@ -64,10 +88,12 @@ class ScaleWeb {
       os::Process proc(cluster_.node(0).host);
       apps::WebServerOptions so;
       so.requests_per_connection = opt_.requests_per_connection;
-      so.max_connections =
-          (opt_.hosts - 1) *
-          ((opt_.requests_per_client + opt_.requests_per_connection - 1) /
-           opt_.requests_per_connection);
+      so.max_connections = 0;
+      for (std::size_t i = 0; i + 1 < opt_.hosts; ++i) {
+        so.max_connections += static_cast<std::size_t>(
+            (requests_of_client(i) + opt_.requests_per_connection - 1) /
+            opt_.requests_per_connection);
+      }
       co_await apps::web_server(proc, cluster_.stack(0, kind), so);
     };
     auto client = [&](std::size_t idx) -> sim::Task<void> {
@@ -79,13 +105,15 @@ class ScaleWeb {
       co.server_node = 0;
       co.response_bytes = opt_.response_bytes;
       co.requests_per_connection = opt_.requests_per_connection;
-      co.total_requests = opt_.requests_per_client;
+      co.total_requests = requests_of_client(idx);
       co_await apps::web_client(proc, cluster_.stack(idx + 1, kind), co,
                                 per_client_[idx]);
     };
-    cluster_.node_engine(0).spawn(server());
+    // spawn_on tags each workload with its host's domain — the handle live
+    // rebalancing migrates by.  A bare engine.spawn would pin it for good.
+    cluster_.spawn_on(0, server());
     for (std::size_t i = 0; i + 1 < opt_.hosts; ++i) {
-      cluster_.node_engine(i + 1).spawn(client(i));
+      cluster_.spawn_on(i + 1, client(i));
     }
     group_.run(opt_.threads);
   }
@@ -203,10 +231,10 @@ class ScaleC10k {
                                                   idx * 131);
       }
     };
-    cluster_.node_engine(0).spawn(server());
+    cluster_.spawn_on(0, server());
     for (std::size_t h = 1; h <= opt_.client_hosts; ++h) {
       for (std::size_t c = 0; c < opt_.connections_per_host; ++c) {
-        cluster_.node_engine(h).spawn(conn(h, c));
+        cluster_.spawn_on(h, conn(h, c));
       }
     }
     group_.run(opt_.threads);

@@ -110,6 +110,16 @@ def validate(path):
             # snapshot and would silently escape the zero-copy gate.
             if "host/bytes_copied" not in metrics:
                 err(f"{where}.metrics missing required 'host/bytes_copied'")
+            # Sharded runs (anything that recorded an epoch count) must
+            # also carry the rebalance telemetry: applied-migration count
+            # and final per-shard load skew.  A sharded point without them
+            # would silently escape the rebalance gates in
+            # check_hostperf.py.
+            if "shard/epochs" in metrics:
+                for required in ("shard/migrations", "shard/imbalance"):
+                    if required not in metrics:
+                        err(f"{where}.metrics missing required "
+                            f"'{required}' on sharded point")
             # Ring scenarios (x starting with "ring") must carry the
             # OpRing instruments — a ring point without them ran the
             # blocking server by mistake and the ring-vs-blocking gate

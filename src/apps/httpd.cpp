@@ -69,7 +69,6 @@ sim::Task<void> web_server(os::Process& proc, os::SocketApi& stack,
   int ls = co_await proc.socket(stack);
   co_await proc.bind(ls, SockAddr{0, options.port});
   co_await proc.listen(ls, options.backlog);
-  auto& eng = proc.host().engine();
   std::size_t accepted = 0;
   std::size_t completed = 0;
   while (options.max_connections == 0 ||
@@ -77,9 +76,12 @@ sim::Task<void> web_server(os::Process& proc, os::SocketApi& stack,
     int cs = co_await proc.accept(ls);
     ++accepted;
     // Concurrent handling: the accept loop keeps running while earlier
-    // connections are still being served.
-    eng.spawn(handle_connection(proc, cs, options.requests_per_connection,
-                                completed));
+    // connections are still being served.  The engine is re-read per
+    // accept, never cached across a co_await: live shard rebalancing can
+    // rehome this host between suspensions, and a root spawned on the old
+    // engine would execute on another shard without crossing a barrier.
+    proc.host().engine().spawn(handle_connection(
+        proc, cs, options.requests_per_connection, completed));
   }
   while (completed < accepted) co_await stack.activity().wait();
   co_await proc.close(ls);
@@ -107,6 +109,10 @@ sim::Task<void> web_server_ring(os::Process& proc, os::SocketApi& stack,
   int ls = co_await stack.socket();
   co_await stack.bind(ls, SockAddr{0, options.port});
   co_await stack.listen(ls, options.backlog);
+  // The ring (and therefore this server) is pinned to its birth engine:
+  // os::OpRing holds an Engine& for its completion condvar and has no
+  // rebind.  Ring workloads run with rebalancing off; a migratable ring
+  // host would need OpRing::rebind first.
   auto& eng = proc.host().engine();
 
   os::OpRing ring(eng, stack);
@@ -208,12 +214,14 @@ sim::Task<void> web_client(os::Process& proc, os::SocketApi& stack,
   std::vector<std::uint8_t> request(kHttpRequestBytes);
   std::vector<std::uint8_t> body(options.response_bytes);
   std::size_t issued = 0;
-  auto& eng = proc.host().engine();
   while (issued < options.total_requests) {
     std::uint32_t batch = static_cast<std::uint32_t>(
         std::min<std::size_t>(options.requests_per_connection,
                               options.total_requests - issued));
-    sim::Time t0 = eng.now();
+    // Clock reads go through the host's *current* engine (re-read after
+    // every co_await) — a cached reference goes stale when rebalancing
+    // migrates this host.
+    sim::Time t0 = proc.host().engine().now();
     int fd = co_await proc.socket(stack);
     co_await proc.connect(fd, SockAddr{options.server_node, options.port});
     for (std::uint32_t r = 0; r < batch; ++r) {
@@ -225,8 +233,8 @@ sim::Task<void> web_client(os::Process& proc, os::SocketApi& stack,
     co_await proc.close(fd);
     // Average response time: the connection's wall time spread over the
     // requests it carried (how HTTP/1.1 amortizes the handshake).
-    double per_request_us =
-        sim::to_us(eng.now() - t0) / static_cast<double>(batch);
+    double per_request_us = sim::to_us(proc.host().engine().now() - t0) /
+                            static_cast<double>(batch);
     for (std::uint32_t r = 0; r < batch; ++r) response_us.add(per_request_us);
     issued += batch;
   }

@@ -110,8 +110,9 @@ sim::Task<MatmulResult> matmul_master(os::Process& proc, os::SocketApi& stack,
                                       std::size_t n,
                                       std::vector<std::uint16_t> workers,
                                       std::uint16_t port) {
-  auto& eng = proc.host().engine();
-  sim::Time t0 = eng.now();
+  // Re-read the host's engine at each clock read instead of caching it:
+  // live shard rebalancing can rehome the host mid-run.
+  sim::Time t0 = proc.host().engine().now();
 
   // Connect to every worker and ship its job.
   std::size_t w = workers.size();
@@ -153,7 +154,7 @@ sim::Task<MatmulResult> matmul_master(os::Process& proc, os::SocketApi& stack,
       std::erase(outstanding, fd);
     }
   }
-  result.elapsed = eng.now() - t0;
+  result.elapsed = proc.host().engine().now() - t0;
   co_return result;
 }
 
